@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+One `Workbench` (both corpora + planted workloads) per session.  Scale
+is controlled by ``REPRO_BENCH_SCALE``: ``full`` (default, the
+EXPERIMENTS.md configuration) or ``small`` for quick smoke runs.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import BenchConfig, Workbench
+
+
+def _config() -> BenchConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "full")
+    if scale == "small":
+        return BenchConfig.small()
+    if scale == "full":
+        return BenchConfig()
+    raise ValueError(f"REPRO_BENCH_SCALE={scale!r}; use 'full' or 'small'")
+
+
+@pytest.fixture(scope="session")
+def bench() -> Workbench:
+    workbench = Workbench(_config())
+    # Build both corpora and their indexes outside any timed region.
+    workbench.dblp.inverted_index
+    workbench.dblp.columnar_index
+    workbench.xmark.inverted_index
+    workbench.xmark.columnar_index
+    return workbench

@@ -1,0 +1,73 @@
+"""Figure 9: complete-result query performance.
+
+Panels (a)-(d): k = 2..5 keywords, one fixed high-frequency keyword,
+low frequency sweeping a 10x-per-step ladder.  Paper shape:
+
+* the stack-based algorithm is flat in the low frequency (it always
+  scans every list, so the fixed high-frequency keyword dominates);
+* the index-based algorithm matches the join-based one at tiny low
+  frequencies but degrades steeply as the short list grows;
+* the join-based algorithm is lowest throughout (the dynamic planner
+  switches from the index join to the merge join along the way).
+
+Panels (e)-(f): all keywords at the same frequency.  Paper shape: the
+stack-based algorithm edges out the index-based one, and the join-based
+algorithm beats both.
+"""
+
+import pytest
+
+from repro.bench.harness import fig9_cells, run_complete
+
+ALGORITHMS = ("join", "stack", "index")
+
+
+def _cell(bench, n_keywords, low):
+    for cell_low, queries in fig9_cells(bench, n_keywords):
+        if cell_low == low:
+            return queries
+    raise KeyError(low)
+
+
+def _low_freqs(bench):
+    return bench.config.low_freqs
+
+
+class TestFig9Sweep:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("low_index", [0, 1, 2, 3])
+    @pytest.mark.parametrize("n_keywords", [2, 3, 4, 5])
+    def test_cell(self, benchmark, bench, n_keywords, low_index, algorithm):
+        lows = _low_freqs(bench)
+        if low_index >= len(lows):
+            pytest.skip("scale has fewer frequency steps")
+        low = lows[low_index]
+        queries = _cell(bench, n_keywords, low)
+        db = bench.dblp
+        bench.warm(db, queries)
+        benchmark.extra_info.update(panel=f"fig9-{'abcd'[n_keywords - 2]}",
+                                    k=n_keywords, low_freq=low,
+                                    algorithm=algorithm)
+        total = benchmark.pedantic(
+            lambda: run_complete(db, queries, algorithm),
+            rounds=2, iterations=1, warmup_rounds=1)
+        benchmark.extra_info["results"] = total
+
+
+class TestFig9EqualFrequency:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("n_keywords", [2, 3, 4, 5])
+    @pytest.mark.parametrize("freq_index", [1, 2])
+    def test_cell(self, benchmark, bench, freq_index, n_keywords,
+                  algorithm):
+        lows = _low_freqs(bench)
+        freq = lows[min(freq_index, len(lows) - 1)]
+        queries = bench.builder.equal_frequency(n_keywords, freq)
+        db = bench.dblp
+        bench.warm(db, queries)
+        benchmark.extra_info.update(panel="fig9-ef", k=n_keywords,
+                                    freq=freq, algorithm=algorithm)
+        total = benchmark.pedantic(
+            lambda: run_complete(db, queries, algorithm),
+            rounds=2, iterations=1, warmup_rounds=1)
+        benchmark.extra_info["results"] = total

@@ -1,0 +1,47 @@
+"""Figure 9 on XMark ("Results from XMark are similar", section V-B).
+
+A compact replica of the DBLP sweep on the second corpus: the deeper,
+less uniform auction-site tree must produce the same ordering of
+algorithms -- join-based lowest, index-based degrading with the low
+frequency, stack-based governed by the high-frequency list.
+"""
+
+import pytest
+
+from repro.bench.harness import fig9_cells, run_complete
+
+ALGORITHMS = ("join", "stack", "index")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("low_index", [0, 2])
+@pytest.mark.parametrize("n_keywords", [2, 4])
+def test_xmark_cell(benchmark, bench, n_keywords, low_index, algorithm):
+    lows = bench.config.low_freqs
+    low = lows[min(low_index, len(lows) - 1)]
+    queries = [q for cell_low, cell in fig9_cells(bench, n_keywords)
+               for q in cell if cell_low == low]
+    db = bench.xmark
+    bench.warm(db, queries)
+    benchmark.extra_info.update(panel="fig9-xmark", k=n_keywords,
+                                low_freq=low, algorithm=algorithm)
+    total = benchmark.pedantic(
+        lambda: run_complete(db, queries, algorithm),
+        rounds=2, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["results"] = total
+
+
+def test_xmark_algorithms_agree(benchmark, bench):
+    """Cross-corpus sanity inside the benchmark environment: all three
+    engines return the same result count on XMark."""
+    db = bench.xmark
+    queries = bench.builder.correlated_queries()[:2]
+    bench.warm(db, queries)
+
+    def run():
+        return {algorithm: run_complete(db, queries, algorithm)
+                for algorithm in ALGORITHMS}
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert counts["join"] == counts["stack"] == counts["index"]
+    benchmark.extra_info.update(counts)

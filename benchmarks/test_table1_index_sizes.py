@@ -1,0 +1,37 @@
+"""Table I: index sizes of every algorithm's structures.
+
+Paper claim (Table I): the JDewey columnar lists (join-based IL) are
+about the size of the prefix-compressed Dewey lists (stack-based IL);
+the (keyword, Dewey) B-tree of the index-based baseline is several times
+larger; the score-augmented top-K IL adds modest overhead; RDIL pays for
+an extra per-keyword B-tree on top of the plain lists.
+"""
+
+import pytest
+
+from repro.index import storage
+
+
+@pytest.mark.parametrize("corpus", ["dblp", "xmark"])
+def test_table1_sizes(benchmark, bench, corpus):
+    db = bench.dblp if corpus == "dblp" else bench.xmark
+
+    report = benchmark.pedantic(
+        lambda: storage.measure_sizes(db.columnar_index, db.inverted_index),
+        rounds=1, iterations=1)
+
+    rows = dict(report.as_rows())
+    for name, size in rows.items():
+        benchmark.extra_info[name.replace(" ", "_") + "_KiB"] = \
+            round(size / 1024, 1)
+
+    # The qualitative Table I shape.
+    assert rows["index-based B-tree"] > 2 * rows["stack-based IL"]
+    assert rows["join-based IL"] < 2 * rows["stack-based IL"]
+    assert rows["join-based IL"] < rows["top-K join IL"] \
+        < 2 * rows["join-based IL"]
+    assert rows["RDIL IL"] == rows["stack-based IL"]
+    assert rows["RDIL B-tree"] > 0.5 * rows["RDIL IL"]
+    # Sparse indices are small relative to the lists (always cached in
+    # memory, as the paper notes).
+    assert rows["join-based sparse"] < 0.5 * rows["join-based IL"]

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel for PEP 660
+editable installs; on offline boxes without `wheel`, fall back to
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

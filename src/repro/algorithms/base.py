@@ -1,0 +1,126 @@
+"""Shared query/result types and execution statistics.
+
+Every algorithm in this package -- the paper's join-based family and the
+three baselines -- consumes a list of query terms and produces
+`SearchResult` objects, so they are interchangeable behind
+`repro.api.XMLDatabase` and directly comparable in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..xmltree.tree import Node
+
+ELCA = "elca"
+SLCA = "slca"
+SEMANTICS = (ELCA, SLCA)
+
+
+def check_semantics(semantics: str) -> str:
+    if semantics not in SEMANTICS:
+        raise ValueError(
+            f"unknown semantics {semantics!r}; expected one of {SEMANTICS}")
+    return semantics
+
+
+@dataclass
+class SearchResult:
+    """One ELCA/SLCA answer.
+
+    Attributes
+    ----------
+    node:
+        The matched element.
+    level:
+        Tree level of the node (root = 1).
+    score:
+        Global ranking score (sum of the best damped per-keyword
+        witnesses); 0.0 when the algorithm ran without scoring.
+    witness_scores:
+        Best damped local score per query keyword, aligned with the
+        query's term order.
+    """
+
+    node: Node
+    level: int
+    score: float = 0.0
+    witness_scores: Tuple[float, ...] = ()
+
+    @property
+    def dewey(self) -> Tuple[int, ...]:
+        return self.node.dewey
+
+    def fragment(self, indent: bool = False) -> str:
+        """The result subtree serialized as XML -- what a keyword-search
+        UI would show the user for this answer."""
+        return self.node.to_xml(indent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        path = ".".join(map(str, self.node.dewey))
+        return f"<Result {self.node.tag}@{path} score={self.score:.3f}>"
+
+
+def sort_by_document_order(results: List[SearchResult]) -> List[SearchResult]:
+    return sorted(results, key=lambda r: r.node.dewey)
+
+
+def sort_by_score(results: List[SearchResult]) -> List[SearchResult]:
+    """Descending score; document order breaks ties deterministically."""
+    return sorted(results, key=lambda r: (-r.score, r.node.dewey))
+
+
+@dataclass
+class ExecutionStats:
+    """Work counters, the scale-free complement of wall-clock numbers.
+
+    The benchmarks report these next to the timings so the *shape* claims
+    of the paper (which algorithm touches less data where) can be checked
+    independently of Python constant factors.
+    """
+
+    levels_processed: int = 0
+    joins: int = 0
+    merge_joins: int = 0
+    index_joins: int = 0
+    tuples_scanned: int = 0
+    lookups: int = 0
+    candidates_checked: int = 0
+    results_emitted: int = 0
+    erasures: int = 0
+    threshold_checks: int = 0
+    per_level_plan: List[Tuple[int, str]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "levels_processed": self.levels_processed,
+            "joins": self.joins,
+            "merge_joins": self.merge_joins,
+            "index_joins": self.index_joins,
+            "tuples_scanned": self.tuples_scanned,
+            "lookups": self.lookups,
+            "candidates_checked": self.candidates_checked,
+            "results_emitted": self.results_emitted,
+            "erasures": self.erasures,
+            "threshold_checks": self.threshold_checks,
+        }
+
+
+@dataclass
+class TopKResult:
+    """Result list of a top-K run plus its execution statistics."""
+
+    results: List[SearchResult]
+    stats: ExecutionStats
+    terminated_early: bool = False
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class EmptyResultError(LookupError):
+    """Raised by strict APIs when a query term has no occurrences."""

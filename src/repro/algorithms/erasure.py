@@ -1,0 +1,127 @@
+"""Semantic-pruning bookkeeping: erased sequence ranges (section III-E).
+
+When a JDewey number joins at some level, *every* sequence running
+through that node is consumed: those occurrences belong to a subtree
+that already contains all keywords and must not witness any higher
+result.  Because a term's sequences are sorted in JDewey order, the
+sequences through one node always occupy a contiguous range of ordinals,
+and ranges arising at different levels are *contained or disjoint*
+(paper Figure 4) -- the geometry that makes range checking a binary
+search.
+
+Two interchangeable implementations:
+
+* `BitmapEraser`   -- a boolean array per list; simple, O(range) marks
+  and counts.  The default execution path.
+* `IntervalEraser` -- the paper's range-checking structure: a sorted set
+  of disjoint intervals with O(log n) queries; marks exploit the
+  contained-or-disjoint property to merge swallowed ranges.
+
+Both are property-tested for equivalence and benchmarked in the
+range-checking ablation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+import numpy as np
+
+
+class BitmapEraser:
+    """Per-ordinal boolean erasure marks."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self._marks = np.zeros(size, dtype=bool)
+
+    def mark(self, lo: int, hi: int) -> None:
+        """Erase ordinals in [lo, hi)."""
+        if not 0 <= lo <= hi <= self.size:
+            raise ValueError(f"range [{lo}, {hi}) outside [0, {self.size})")
+        self._marks[lo:hi] = True
+
+    def erased_count(self, lo: int, hi: int) -> int:
+        return int(self._marks[lo:hi].sum())
+
+    def is_erased(self, ordinal: int) -> bool:
+        return bool(self._marks[ordinal])
+
+    def free_mask(self, ordinals: np.ndarray) -> np.ndarray:
+        """Boolean mask of *non*-erased entries for an ordinal array."""
+        return ~self._marks[ordinals]
+
+    @property
+    def total_erased(self) -> int:
+        return int(self._marks.sum())
+
+
+class IntervalEraser:
+    """Disjoint sorted intervals with prefix-sum counting.
+
+    `mark` assumes the paper's contained-or-disjoint geometry: a new
+    interval either contains a consecutive block of existing intervals
+    (it swallows them) or is disjoint from all of them.  Overlapping
+    partial ranges raise, which doubles as a structural assertion that
+    the join algorithm respects the geometry.
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+
+    def mark(self, lo: int, hi: int) -> None:
+        if not 0 <= lo <= hi <= self.size:
+            raise ValueError(f"range [{lo}, {hi}) outside [0, {self.size})")
+        if lo == hi:
+            return
+        left = bisect.bisect_left(self._ends, lo + 1)
+        right = bisect.bisect_left(self._starts, hi)
+        swallowed_starts = self._starts[left:right]
+        swallowed_ends = self._ends[left:right]
+        if swallowed_starts and (swallowed_starts[0] < lo
+                                 or swallowed_ends[-1] > hi):
+            raise ValueError(
+                "partial overlap violates the contained-or-disjoint property")
+        self._starts[left:right] = [lo]
+        self._ends[left:right] = [hi]
+
+    def erased_count(self, lo: int, hi: int) -> int:
+        """Erased ordinals within [lo, hi) via binary search."""
+        total = 0
+        i = bisect.bisect_left(self._ends, lo + 1)
+        while i < len(self._starts) and self._starts[i] < hi:
+            total += min(self._ends[i], hi) - max(self._starts[i], lo)
+            i += 1
+        return total
+
+    def is_erased(self, ordinal: int) -> bool:
+        i = bisect.bisect_right(self._starts, ordinal) - 1
+        return i >= 0 and ordinal < self._ends[i]
+
+    def free_mask(self, ordinals: np.ndarray) -> np.ndarray:
+        return np.fromiter((not self.is_erased(int(o)) for o in ordinals),
+                           dtype=bool, count=len(ordinals))
+
+    @property
+    def total_erased(self) -> int:
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    @property
+    def intervals(self) -> List[Tuple[int, int]]:
+        return list(zip(self._starts, self._ends))
+
+
+ERASER_MODES = {"bitmap": BitmapEraser, "interval": IntervalEraser}
+
+
+def make_eraser(mode: str, size: int):
+    """Factory for the two erasure strategies."""
+    try:
+        cls = ERASER_MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown eraser mode {mode!r}; one of {sorted(ERASER_MODES)}")
+    return cls(size)

@@ -1,0 +1,146 @@
+"""Reference (naive) semantics oracle.
+
+A direct bottom-up evaluation of the LCA / ELCA / SLCA definitions from
+paper section II-A, with exact result scores.  It is deliberately simple
+-- one pass over the whole tree per query -- and serves as the ground
+truth every optimized algorithm is tested against.
+
+Definitions implemented (k query keywords, C(u) = "u's subtree contains
+all k keywords"):
+
+* ``LCA set``  -- all nodes u with C(u) that are the LCA of at least one
+  occurrence combination; this equals {u : every keyword occurs in the
+  subtree of u via at least one *distinct child branch or self*}, and we
+  compute it directly from the definition on small inputs only.
+* ``SLCA``     -- u with C(u) and no descendant with C (the minimal
+  C-nodes).
+* ``ELCA``     -- u such that every keyword retains a witness occurrence
+  under u after excluding occurrences lying under a C-node strictly
+  below u.  This is the recurrence
+  ``E(u) = direct(u)  U  union over children c of (E(c) if not C(c))``,
+  and u is an ELCA iff E(u) covers all keywords (and scoring uses those
+  free witnesses).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..index.inverted import InvertedIndex
+from ..scoring.ranking import RankingModel
+from ..xmltree.dewey import lca as dewey_lca
+from ..xmltree.tree import Node, XMLTree
+from .base import ELCA, SLCA, SearchResult, check_semantics
+
+
+class SemanticsOracle:
+    """Ground-truth evaluator for one document."""
+
+    def __init__(self, tree: XMLTree, index: InvertedIndex,
+                 ranking: Optional[RankingModel] = None):
+        self.tree = tree
+        self.index = index
+        self.ranking = ranking if ranking is not None else index.ranking
+
+    # ------------------------------------------------------------------
+    # occurrence gathering
+    # ------------------------------------------------------------------
+
+    def _direct_bits(self, terms: Sequence[str]
+                     ) -> Tuple[Dict[Node, int], Dict[Node, List[float]]]:
+        """Per-node keyword bitmask and per-node best local score by term."""
+        bits: Dict[Node, int] = {}
+        local: Dict[Node, List[float]] = {}
+        for i, term in enumerate(terms):
+            for posting in self.index.term_list(term).postings:
+                node = self.tree.node_by_dewey(posting.dewey)
+                bits[node] = bits.get(node, 0) | (1 << i)
+                scores = local.setdefault(node, [0.0] * len(terms))
+                scores[i] = max(scores[i], posting.score)
+        return bits, local
+
+    # ------------------------------------------------------------------
+    # ELCA / SLCA with exact scores
+    # ------------------------------------------------------------------
+
+    def evaluate(self, terms: Sequence[str], semantics: str = ELCA
+                 ) -> List[SearchResult]:
+        """All results under `semantics`, scored, in document order."""
+        check_semantics(semantics)
+        terms = list(terms)
+        if not terms:
+            return []
+        full = (1 << len(terms)) - 1
+        direct_bits, direct_scores = self._direct_bits(terms)
+        if not direct_bits:
+            return []
+
+        contains: Dict[Node, int] = {}
+        free: Dict[Node, int] = {}
+        # Best damped score per keyword among *free* occurrences under the
+        # node (free = not blocked by a C-node strictly below).
+        best: Dict[Node, List[float]] = {}
+        child_has_c: Dict[Node, bool] = {}
+        damping = self.ranking.damping
+        results: List[SearchResult] = []
+
+        # Reversed document order visits every node after its children.
+        for node in reversed(self.tree.nodes):
+            c_bits = direct_bits.get(node, 0)
+            f_bits = c_bits
+            scores = list(direct_scores.get(node, [0.0] * len(terms)))
+            has_c_child = False
+            for child in node.children:
+                child_contains = contains.pop(child, 0)
+                c_bits |= child_contains
+                child_free = free.pop(child, 0)
+                child_best = best.pop(child, None)
+                if child_contains == full:
+                    has_c_child = True
+                    # Blocked: the child subtree already has all keywords.
+                    continue
+                f_bits |= child_free
+                if child_best is not None:
+                    decay = damping(1)
+                    for i in range(len(terms)):
+                        damped = child_best[i] * decay
+                        if damped > scores[i]:
+                            scores[i] = damped
+            contains[node] = c_bits
+            free[node] = f_bits
+            best[node] = scores
+            child_has_c[node] = has_c_child
+
+            if c_bits != full:
+                continue
+            is_result = (f_bits == full) if semantics == ELCA \
+                else not has_c_child
+            if is_result:
+                score = self.ranking.score_result(scores)
+                results.append(SearchResult(node, node.level, score,
+                                            tuple(scores)))
+        results.reverse()
+        return results
+
+    # ------------------------------------------------------------------
+    # naive LCA enumeration (exponential -- small inputs only)
+    # ------------------------------------------------------------------
+
+    def all_lcas(self, terms: Sequence[str], limit: int = 200_000
+                 ) -> Set[Tuple[int, ...]]:
+        """The full LCA(L1, ..., Lk) set by enumeration.
+
+        Demonstrates the exponential blow-up the paper motivates with;
+        guarded by `limit` combinations.
+        """
+        lists = [self.index.term_list(t).deweys for t in terms]
+        if any(not lst for lst in lists):
+            return set()
+        n_combos = 1
+        for lst in lists:
+            n_combos *= len(lst)
+        if n_combos > limit:
+            raise ValueError(
+                f"{n_combos} combinations exceed the safety limit {limit}")
+        return {dewey_lca(*combo) for combo in itertools.product(*lists)}

@@ -1,0 +1,375 @@
+"""Top-K star join (paper section IV-B) and the classic rank-join bound.
+
+The operator consumes k ranked inputs (score-descending streams of
+``(id, score)`` tuples) joined on id -- the star pattern
+``R1.id = R2.id = ... = Rk.id``.  Tuples accumulate in a hash bucket;
+an id seen in all k inputs becomes a *completed* result whose score sums
+the per-input scores (first occurrence per input wins, which is the max
+because streams descend).
+
+Two thresholds for results not yet completed:
+
+* ``classic`` -- the HRJN/TA bound: ``max_i (s^i + sum_{j != i} s_m^j)``
+  with ``s^i`` the next unseen score of input i and ``s_m^j`` the very
+  first (maximum) score of input j.
+* ``group``   -- the paper's tighter star-join bound: bucket tuples are
+  grouped by the subset P of inputs that have seen them;
+  ``max(sum_i s^i, max_P (ms(G_P) + sum_{j not in P} s^j))`` where
+  ``ms(G_P)`` is the best current partial sum in the group.  The first
+  term covers ids never seen anywhere; the paper proves the group term
+  dominates it whenever the bucket is non-empty, but keeping it makes
+  the empty-bucket case explicit.
+
+Exhausted inputs drop out of the bound naturally: an id that has not
+been seen in an exhausted input can never complete, so its partial is
+dead and case 1 is impossible.
+
+The cursor policy follows the paper: round-robin until K results have
+been *generated*, then always advance the input with the largest next
+score ``s^i``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from .base import ExecutionStats
+
+CLASSIC = "classic"
+GROUP = "group"
+BOUND_MODES = (CLASSIC, GROUP)
+
+
+class BoundOps:
+    """Per-slot aggregation implementing a monotone combining function.
+
+    The star join's bucket and thresholds only need three operations on
+    F: fold one more per-input score into a partial aggregate, finish a
+    full per-slot vector, and bound a partial given the next unseen
+    score of every missing input.  ``sum`` (the paper's exposition),
+    per-slot ``weighted`` sums, and ``max`` are provided; any F whose
+    partials are totally ordered and monotone fits the same interface.
+    """
+
+    identity = 0.0
+
+    def __init__(self, mode: str = "sum",
+                 weights: Optional[Sequence[float]] = None):
+        if mode not in ("sum", "weighted", "max"):
+            raise ValueError(f"unsupported combiner mode {mode!r}")
+        if mode == "weighted" and weights is None:
+            raise ValueError("weighted mode needs per-slot weights")
+        self.mode = mode
+        self.weights = tuple(weights) if weights is not None else None
+
+    def _scale(self, score: float, slot: int) -> float:
+        if self.mode == "weighted":
+            return self.weights[slot] * score
+        return score
+
+    def fold(self, partial: float, score: float, slot: int) -> float:
+        """Aggregate one more input's score into a partial result."""
+        scaled = self._scale(score, slot)
+        if self.mode == "max":
+            return max(partial, scaled)
+        return partial + scaled
+
+    def complete(self, scores: Sequence[float]) -> float:
+        """F over a full per-slot score vector."""
+        partial = self.identity
+        for slot, score in enumerate(scores):
+            partial = self.fold(partial, score, slot)
+        return partial
+
+    def bound(self, partial: float, nexts: Sequence[Optional[float]],
+              unseen_slots: Sequence[int]) -> float:
+        """Best total a partial can still reach; -inf if it never
+        completes (an unseen input is exhausted)."""
+        for slot in unseen_slots:
+            s_next = nexts[slot]
+            if s_next is None:
+                return -math.inf
+            partial = self.fold(partial, s_next, slot)
+        return partial
+
+
+class RankedInput(Protocol):
+    """A score-descending stream of (id, score) tuples."""
+
+    def peek_score(self) -> Optional[float]:
+        """Score of the next tuple, or None when exhausted."""
+        ...
+
+    def pop(self) -> Optional[Tuple[int, float]]:
+        """Retrieve the next tuple, or None when exhausted."""
+        ...
+
+
+class ListInput:
+    """A `RankedInput` over a pre-sorted list (tests, examples, ablation)."""
+
+    def __init__(self, tuples: Sequence[Tuple[int, float]]):
+        scores = [s for _, s in tuples]
+        if any(a < b for a, b in zip(scores, scores[1:])):
+            raise ValueError("ranked input must be sorted score-descending")
+        self._tuples = list(tuples)
+        self._pos = 0
+
+    def peek_score(self) -> Optional[float]:
+        if self._pos >= len(self._tuples):
+            return None
+        return self._tuples[self._pos][1]
+
+    def pop(self) -> Optional[Tuple[int, float]]:
+        if self._pos >= len(self._tuples):
+            return None
+        tup = self._tuples[self._pos]
+        self._pos += 1
+        return tup
+
+
+class _BucketEntry:
+    """Partial join state of one id."""
+
+    __slots__ = ("key", "seen_mask", "partial_sum", "scores")
+
+    def __init__(self, key: int, k: int):
+        self.key = key
+        self.seen_mask = 0
+        self.partial_sum = 0.0
+        self.scores = [0.0] * k
+
+
+class CompletedResult:
+    """An id matched in all k inputs, with its per-input scores."""
+
+    __slots__ = ("key", "score", "scores")
+
+    def __init__(self, key: int, score: float, scores: List[float]):
+        self.key = key
+        self.score = score
+        self.scores = scores
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Completed {self.key} score={self.score:.3f}>"
+
+
+class TopKStarJoin:
+    """Incremental star rank-join over k ranked inputs.
+
+    Drive it with `step()` (one tuple retrieval); read `completed` for
+    generated results and `threshold()` for the bound on everything not
+    yet generated.  A driver (e.g. the top-K keyword algorithm) combines
+    the threshold with its own cross-level bounds before emitting.
+    """
+
+    def __init__(self, inputs: Sequence[RankedInput], target_k: int,
+                 bound_mode: str = GROUP,
+                 stats: Optional[ExecutionStats] = None,
+                 ops: Optional[BoundOps] = None):
+        if bound_mode not in BOUND_MODES:
+            raise ValueError(
+                f"unknown bound mode {bound_mode!r}; one of {BOUND_MODES}")
+        if not inputs:
+            raise ValueError("need at least one ranked input")
+        self.inputs = list(inputs)
+        self.k = len(inputs)
+        self.target_k = target_k
+        self.bound_mode = bound_mode
+        self.ops = ops if ops is not None else BoundOps()
+        self.stats = stats if stats is not None else ExecutionStats()
+        self._bucket: Dict[int, _BucketEntry] = {}
+        # Group index: seen_mask -> (best partial sum, member count).  The
+        # best is a monotone cache: when its witness leaves the group the
+        # value may be stale-high, which keeps the bound sound; it is
+        # dropped as soon as the group empties.
+        self._group_best: Dict[int, float] = {}
+        self._group_count: Dict[int, int] = {}
+        self._max_scores = [inp.peek_score() for inp in inputs]
+        self._round_robin = 0
+        self.completed: List[CompletedResult] = []
+        self._completed_keys: set = set()
+        self.tuples_retrieved = 0
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def _choose_input(self) -> Optional[int]:
+        alive = [i for i, inp in enumerate(self.inputs)
+                 if inp.peek_score() is not None]
+        if not alive:
+            return None
+        if len(self.completed) < self.target_k:
+            for _ in range(self.k):
+                i = self._round_robin
+                self._round_robin = (self._round_robin + 1) % self.k
+                if i in alive:
+                    return i
+            return alive[0]
+        return max(alive, key=lambda i: self.inputs[i].peek_score())
+
+    def step(self) -> bool:
+        """Retrieve one tuple; False when every input is exhausted."""
+        i = self._choose_input()
+        if i is None:
+            return False
+        tup = self.inputs[i].pop()
+        if tup is None:
+            return True
+        key, score = tup
+        self.tuples_retrieved += 1
+        self.stats.tuples_scanned += 1
+        if key in self._completed_keys:
+            # Later (lower-scored) occurrences of a finished id: the join
+            # has set semantics, the first completion already holds every
+            # input's maximum.
+            return True
+        entry = self._bucket.get(key)
+        if entry is None:
+            entry = _BucketEntry(key, self.k)
+            self._bucket[key] = entry
+        bit = 1 << i
+        if entry.seen_mask & bit:
+            # A lower-scored duplicate from the same input: set semantics,
+            # the first (max) occurrence already counted.
+            return True
+        old_mask = entry.seen_mask
+        entry.seen_mask |= bit
+        entry.scores[i] = score
+        entry.partial_sum = self.ops.fold(entry.partial_sum, score, i)
+        if entry.seen_mask == (1 << self.k) - 1:
+            del self._bucket[key]
+            self._completed_keys.add(key)
+            self.completed.append(
+                CompletedResult(key, entry.partial_sum, entry.scores))
+            self._forget_group(old_mask)
+        else:
+            self._update_group(old_mask, entry)
+        return True
+
+    def _update_group(self, old_mask: int, entry: _BucketEntry) -> None:
+        if old_mask:
+            self._forget_group(old_mask)
+        mask = entry.seen_mask
+        self._group_count[mask] = self._group_count.get(mask, 0) + 1
+        current = self._group_best.get(mask, -math.inf)
+        if entry.partial_sum > current:
+            self._group_best[mask] = entry.partial_sum
+
+    def _forget_group(self, mask: int) -> None:
+        if not mask:
+            return
+        remaining = self._group_count.get(mask, 0) - 1
+        if remaining <= 0:
+            self._group_count.pop(mask, None)
+            self._group_best.pop(mask, None)
+        else:
+            self._group_count[mask] = remaining
+
+    # ------------------------------------------------------------------
+    # thresholds
+    # ------------------------------------------------------------------
+
+    def _next_scores(self) -> List[Optional[float]]:
+        return [inp.peek_score() for inp in self.inputs]
+
+    def threshold(self) -> float:
+        """Upper bound on the score of any result not yet completed."""
+        self.stats.threshold_checks += 1
+        nexts = self._next_scores()
+        if self.bound_mode == CLASSIC:
+            return self._classic_threshold(nexts)
+        return self._group_threshold(nexts)
+
+    def _classic_threshold(self, nexts: List[Optional[float]]) -> float:
+        best = -math.inf
+        for i, s_next in enumerate(nexts):
+            if s_next is None:
+                continue
+            vector = []
+            feasible = True
+            for j, s_max in enumerate(self._max_scores):
+                if j == i:
+                    vector.append(s_next)
+                elif s_max is None:
+                    feasible = False
+                    break
+                else:
+                    vector.append(s_max)
+            if feasible:
+                best = max(best, self.ops.complete(vector))
+        # Partial results are not tracked separately by HRJN; ids already
+        # seen somewhere are covered because s_m^j >= their seen scores.
+        if any(s is None for s in nexts) and self._bucket:
+            best = max(best, self._group_threshold(nexts))
+        return best
+
+    def _group_threshold(self, nexts: List[Optional[float]]) -> float:
+        if self.ops.mode == "sum":
+            return self._group_threshold_sum(nexts)
+        # Case 1: ids unseen everywhere.
+        best = self.ops.bound(self.ops.identity, nexts, range(self.k))
+        for mask, partial_best in self._group_best.items():
+            unseen = [j for j in range(self.k) if not mask & (1 << j)]
+            total = self.ops.bound(partial_best, nexts, unseen)
+            if total > best:
+                best = total
+        return best
+
+    def _group_threshold_sum(self, nexts: List[Optional[float]]) -> float:
+        """Additive fast path: precompute the sum over alive inputs once,
+        then each group's bound is partial + (next_sum - seen part)."""
+        next_sum = 0.0
+        alive_mask = 0
+        for j, s_next in enumerate(nexts):
+            if s_next is not None:
+                next_sum += s_next
+                alive_mask |= 1 << j
+        full = (1 << self.k) - 1
+        best = next_sum if alive_mask == full else -math.inf
+        for mask, partial_best in self._group_best.items():
+            unseen = full & ~mask
+            if unseen & ~alive_mask:
+                continue  # an unseen input is exhausted: dead partial
+            total = partial_best
+            for j in range(self.k):
+                if unseen & (1 << j):
+                    total += nexts[j]
+            if total > best:
+                best = total
+        return best
+
+    @property
+    def exhausted(self) -> bool:
+        return all(inp.peek_score() is None for inp in self.inputs)
+
+
+def topk_join(relations: Sequence[Sequence[Tuple[int, float]]], k: int,
+              bound_mode: str = GROUP
+              ) -> Tuple[List[CompletedResult], int]:
+    """Standalone top-K star join over pre-sorted relations.
+
+    Runs until K results can be *emitted* (score >= threshold for the
+    still-unseen results) or the inputs are exhausted.  Returns the
+    emitted results in emission order and the number of tuples retrieved
+    -- the ablation metric comparing the two bounds.
+    """
+    join = TopKStarJoin([ListInput(r) for r in relations], k, bound_mode)
+    emitted: List[CompletedResult] = []
+    buffer: List[CompletedResult] = []
+    emitted_keys: set = set()
+    while len(emitted) < k:
+        progressed = join.step()
+        buffer = [c for c in join.completed if c.key not in emitted_keys]
+        buffer.sort(key=lambda c: -c.score)
+        bound = join.threshold()
+        while buffer and len(emitted) < k and (
+                buffer[0].score >= bound or join.exhausted):
+            result = buffer.pop(0)
+            emitted.append(result)
+            emitted_keys.add(result.key)
+        if not progressed:
+            break
+    return emitted, join.tuples_retrieved

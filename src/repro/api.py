@@ -1,0 +1,278 @@
+"""Public facade: `XMLDatabase` and `Query`.
+
+One object bundles the tree, both index families and every algorithm::
+
+    from repro import XMLDatabase
+
+    db = XMLDatabase.from_xml_text(open("bib.xml").read())
+    for r in db.search("xml data", semantics="elca"):
+        print(r.node.tag, r.node.dewey, r.score)
+
+    top = db.search_topk("xml keyword search", k=10)
+
+Indexes are built lazily on first use, so parsing a document and running
+a single stack-based query does not pay for the columnar index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from .algorithms.base import (ELCA, EmptyResultError, SearchResult,
+                              TopKResult, check_semantics, sort_by_score)
+from .algorithms.hybrid import HybridTopKSearch
+from .algorithms.index_based import IndexBasedSearch
+from .algorithms.join_based import JoinBasedSearch
+from .algorithms.oracle import SemanticsOracle
+from .algorithms.rdil import RDILSearch
+from .algorithms.stack_based import StackBasedSearch
+from .algorithms.topk_keyword import TopKKeywordSearch
+from .index.columnar import ColumnarIndex
+from .index.inverted import InvertedIndex
+from .index.tokenizer import Tokenizer
+from .planner.plans import JoinPlanner
+from .scoring.ranking import RankingModel
+from .xmltree.jdewey import JDeweyEncoder
+from .xmltree.parser import parse_xml
+from .xmltree.tree import XMLTree
+
+ALGORITHMS = ("join", "stack", "index", "oracle")
+TOPK_ALGORITHMS = ("topk-join", "rdil", "hybrid", "join")
+
+
+class Query:
+    """A parsed keyword query: distinct terms in first-appearance order."""
+
+    def __init__(self, text_or_terms: Union[str, Sequence[str]],
+                 tokenizer: Optional[Tokenizer] = None):
+        tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        if isinstance(text_or_terms, str):
+            self.terms = tokenizer.query_terms(text_or_terms)
+        else:
+            seen: Dict[str, None] = {}
+            for term in text_or_terms:
+                seen.setdefault(term.lower(), None)
+            self.terms = list(seen)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self):
+        return iter(self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Query({' '.join(self.terms)!r})"
+
+
+class XMLDatabase:
+    """An indexed XML document plus every search algorithm."""
+
+    def __init__(self, tree: XMLTree, tokenizer: Optional[Tokenizer] = None,
+                 ranking: Optional[RankingModel] = None,
+                 jdewey_gap: int = 0):
+        if not tree.frozen:
+            tree.freeze()
+        self.tree = tree
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        self.ranking = ranking if ranking is not None else RankingModel()
+        self.encoder = JDeweyEncoder(tree, gap=jdewey_gap)
+        self._columnar: Optional[ColumnarIndex] = None
+        self._inverted: Optional[InvertedIndex] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_xml_text(cls, text: str, **kwargs) -> "XMLDatabase":
+        """Parse XML text and index it."""
+        return cls(parse_xml(text), **kwargs)
+
+    @classmethod
+    def from_tree(cls, tree: XMLTree, **kwargs) -> "XMLDatabase":
+        return cls(tree, **kwargs)
+
+    @classmethod
+    def generate_dblp(cls, seed: int = 7, n_papers: int = 2000,
+                      **kwargs) -> "XMLDatabase":
+        """A synthetic DBLP-like database (see `repro.datagen.dblp`)."""
+        from .datagen.dblp import DBLPGenerator
+
+        tree = DBLPGenerator(seed=seed, n_papers=n_papers).generate()
+        return cls(tree, **kwargs)
+
+    @classmethod
+    def generate_xmark(cls, seed: int = 7, scale: float = 0.01,
+                       **kwargs) -> "XMLDatabase":
+        """A synthetic XMark-like database (see `repro.datagen.xmark`)."""
+        from .datagen.xmark import XMarkGenerator
+
+        tree = XMarkGenerator(seed=seed, scale=scale).generate()
+        return cls(tree, **kwargs)
+
+    @classmethod
+    def open(cls, path: str, **kwargs) -> "XMLDatabase":
+        """Open a database directory written by `save`."""
+        from .diskdb import load_database
+
+        return load_database(path, **kwargs)
+
+    def save(self, path: str) -> None:
+        """Persist the document and both indexes to a directory."""
+        from .diskdb import save_database
+
+        save_database(self, path)
+
+    # ------------------------------------------------------------------
+    # indexes (lazy)
+    # ------------------------------------------------------------------
+
+    @property
+    def columnar_index(self) -> ColumnarIndex:
+        if self._columnar is None:
+            self._columnar = ColumnarIndex(self.tree, self.tokenizer,
+                                           self.ranking)
+        return self._columnar
+
+    @property
+    def inverted_index(self) -> InvertedIndex:
+        if self._inverted is None:
+            self._inverted = InvertedIndex(self.tree, self.tokenizer,
+                                           self.ranking)
+        return self._inverted
+
+    def refresh(self) -> None:
+        """Re-index after document mutations.
+
+        `self.encoder.insert` / `.delete` maintain the JDewey numbering
+        incrementally (paper section III-A); Dewey ids and the inverted
+        lists are static structures, so after mutating the tree call
+        `refresh` to re-freeze and drop the cached indexes (they rebuild
+        lazily on the next query).
+        """
+        self.tree.freeze()
+        self._columnar = None
+        self._inverted = None
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def search(self, query: Union[str, Sequence[str], Query],
+               semantics: str = ELCA, algorithm: str = "join",
+               planner: Optional[JoinPlanner] = None,
+               strict: bool = False) -> List[SearchResult]:
+        """Complete result set, in document order.
+
+        ``algorithm`` is one of ``join`` (the paper's join-based
+        algorithm, default), ``stack``, ``index`` (the two baselines) or
+        ``oracle`` (the naive reference evaluation).  With
+        ``strict=True`` a query term absent from the corpus raises
+        `EmptyResultError` instead of silently returning no results.
+        """
+        check_semantics(semantics)
+        terms = self._terms(query)
+        if strict:
+            self._check_terms_exist(terms)
+        if algorithm == "join":
+            engine = JoinBasedSearch(self.columnar_index, planner)
+            results, _ = engine.evaluate(terms, semantics)
+            return results
+        if algorithm == "stack":
+            results, _ = StackBasedSearch(self.inverted_index).evaluate(
+                terms, semantics)
+            return results
+        if algorithm == "index":
+            results, _ = IndexBasedSearch(self.inverted_index).evaluate(
+                terms, semantics)
+            return results
+        if algorithm == "oracle":
+            return SemanticsOracle(self.tree, self.inverted_index,
+                                   self.ranking).evaluate(terms, semantics)
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; one of {ALGORITHMS}")
+
+    def search_ranked(self, query: Union[str, Sequence[str], Query],
+                      semantics: str = ELCA,
+                      algorithm: str = "join") -> List[SearchResult]:
+        """Complete result set, best score first."""
+        return sort_by_score(self.search(query, semantics, algorithm))
+
+    def search_topk(self, query: Union[str, Sequence[str], Query], k: int,
+                    semantics: str = ELCA, algorithm: str = "topk-join",
+                    strict: bool = False) -> TopKResult:
+        """Top-`k` results, best first.
+
+        ``algorithm`` is one of ``topk-join`` (the paper's join-based
+        top-K algorithm, default), ``rdil`` (the TA-style baseline),
+        ``hybrid`` (section V-D) or ``join`` (evaluate everything, then
+        truncate -- the "general join-based" line of Figure 10).
+        """
+        check_semantics(semantics)
+        terms = self._terms(query)
+        if strict:
+            self._check_terms_exist(terms)
+        if algorithm == "topk-join":
+            return TopKKeywordSearch(self.columnar_index).search(
+                terms, k, semantics)
+        if algorithm == "rdil":
+            return RDILSearch(self.inverted_index).search(terms, k, semantics)
+        if algorithm == "hybrid":
+            return HybridTopKSearch(self.columnar_index).search(
+                terms, k, semantics)
+        if algorithm == "join":
+            engine = JoinBasedSearch(self.columnar_index)
+            results, stats = engine.evaluate(terms, semantics)
+            return TopKResult(sort_by_score(results)[:k], stats)
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; one of {TOPK_ALGORITHMS}")
+
+    def search_stream(self, query: Union[str, Sequence[str], Query],
+                      semantics: str = ELCA):
+        """Yield results best-first, lazily (progressive top-K).
+
+        Each ``next()`` advances the join-based top-K machinery only far
+        enough to prove one more result safe; abandoning the generator
+        abandons the remaining work.
+        """
+        return TopKKeywordSearch(self.columnar_index).stream(
+            self._terms(query), semantics)
+
+    def explain(self, query: Union[str, Sequence[str], Query],
+                semantics: str = ELCA,
+                planner: Optional[JoinPlanner] = None):
+        """Per-level trace of the join-based evaluation (a `QueryPlan`).
+
+        Shows the dynamic optimization at work: column sizes,
+        cardinality estimates and the merge/index join chosen at each
+        level (paper section III-C).
+        """
+        from .algorithms.explain import explain as _explain
+
+        return _explain(self.columnar_index, self._terms(query), semantics,
+                        planner)
+
+    def _terms(self, query: Union[str, Sequence[str], Query]) -> List[str]:
+        if isinstance(query, Query):
+            return query.terms
+        return Query(query, self.tokenizer).terms
+
+    def _check_terms_exist(self, terms: Sequence[str]) -> None:
+        missing = [t for t in terms
+                   if self.inverted_index.document_frequency(t) == 0]
+        if missing:
+            raise EmptyResultError(
+                f"query terms with no occurrences: {missing}")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        return self.inverted_index.document_frequency(term.lower())
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XMLDatabase nodes={len(self.tree)} depth={self.tree.depth}>"

@@ -1,0 +1,17 @@
+"""Benchmark harness regenerating the paper's tables and figures."""
+
+from .harness import (BenchConfig, Workbench, fig9_equal_rows, fig9_rows,
+                      fig10a_rows, fig10bc_rows, run_complete, run_topk,
+                      table1_rows)
+
+__all__ = [
+    "BenchConfig",
+    "Workbench",
+    "fig9_equal_rows",
+    "fig9_rows",
+    "fig10a_rows",
+    "fig10bc_rows",
+    "run_complete",
+    "run_topk",
+    "table1_rows",
+]

@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+::
+
+    python -m repro index bib.xml mydb/           # build + save a database
+    python -m repro generate dblp mydb/ --papers 5000
+    python -m repro search mydb/ "xml data" --semantics slca
+    python -m repro topk mydb/ "xml keyword search" -k 10
+    python -m repro info mydb/
+    python -m repro bench --small
+
+`search`/`topk`/`info` accept either a saved database directory or a
+raw XML file (indexed on the fly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from .api import ALGORITHMS, TOPK_ALGORITHMS, XMLDatabase
+from .algorithms.base import SearchResult
+
+
+def _load(path: str) -> XMLDatabase:
+    if os.path.isdir(path):
+        from .diskdb import load_database
+
+        return load_database(path)
+    from .xmltree.parser import parse_xml_file
+
+    return XMLDatabase.from_tree(parse_xml_file(path))
+
+
+def _print_results(results: List[SearchResult], limit: Optional[int],
+                   elapsed_ms: float) -> None:
+    shown = results if limit is None else results[:limit]
+    for rank, r in enumerate(shown, start=1):
+        path = ".".join(map(str, r.node.dewey))
+        snippet = r.node.subtree_text()[:60]
+        print(f"{rank:>3}. <{r.node.tag}> {path}  score={r.score:.4f}  "
+              f"{snippet}")
+    extra = len(results) - len(shown)
+    if extra > 0:
+        print(f"     ... and {extra} more")
+    print(f"({len(results)} results in {elapsed_ms:.1f} ms)")
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    start = time.perf_counter()
+    results = db.search(args.query, semantics=args.semantics,
+                        algorithm=args.algorithm)
+    elapsed = (time.perf_counter() - start) * 1000
+    _print_results(results, args.limit, elapsed)
+    return 0
+
+
+def cmd_topk(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    start = time.perf_counter()
+    result = db.search_topk(args.query, args.k, semantics=args.semantics,
+                            algorithm=args.algorithm)
+    elapsed = (time.perf_counter() - start) * 1000
+    _print_results(list(result), None, elapsed)
+    if result.terminated_early:
+        print("(terminated early)")
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    from .xmltree.parser import parse_xml_file
+
+    db = XMLDatabase.from_tree(parse_xml_file(args.xml_file))
+    db.columnar_index
+    db.inverted_index
+    db.save(args.output)
+    print(f"indexed {len(db)} nodes "
+          f"({len(db.inverted_index.vocabulary)} terms) -> {args.output}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.corpus == "dblp":
+        db = XMLDatabase.generate_dblp(seed=args.seed,
+                                       n_papers=args.papers)
+    else:
+        db = XMLDatabase.generate_xmark(seed=args.seed, scale=args.scale)
+    db.columnar_index
+    db.inverted_index
+    db.save(args.output)
+    print(f"generated {args.corpus}: {len(db)} nodes -> {args.output}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    inv = db.inverted_index
+    print(f"nodes:       {len(db)}")
+    print(f"depth:       {db.tree.depth}")
+    print(f"text nodes:  {inv.n_docs}")
+    print(f"vocabulary:  {len(inv.vocabulary)} terms")
+    postings = sum(len(inv.term_list(t)) for t in inv.vocabulary)
+    print(f"postings:    {postings}")
+    from .index import storage
+
+    report = storage.measure_sizes(db.columnar_index, inv)
+    for name, size in report.as_rows():
+        print(f"{name + ':':<20}{size / 1024:>10.1f} KiB")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    plan = db.explain(args.query, semantics=args.semantics)
+    print(plan.format())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.harness import BenchConfig, main as harness_main
+
+    harness_main(BenchConfig.small() if args.small else None)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-K keyword search in XML databases (ICDE 2010 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("search", help="complete result set")
+    p.add_argument("database", help="database directory or XML file")
+    p.add_argument("query", help="keyword query, e.g. 'xml data'")
+    p.add_argument("--semantics", choices=("elca", "slca"),
+                   default="elca")
+    p.add_argument("--algorithm", choices=ALGORITHMS, default="join")
+    p.add_argument("--limit", type=int, default=20,
+                   help="results to print (all are counted)")
+    p.set_defaults(fn=cmd_search)
+
+    p = sub.add_parser("topk", help="top-K results, best first")
+    p.add_argument("database", help="database directory or XML file")
+    p.add_argument("query")
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--semantics", choices=("elca", "slca"),
+                   default="elca")
+    p.add_argument("--algorithm", choices=TOPK_ALGORITHMS,
+                   default="topk-join")
+    p.set_defaults(fn=cmd_topk)
+
+    p = sub.add_parser("index", help="index an XML file into a database")
+    p.add_argument("xml_file")
+    p.add_argument("output", help="database directory to create")
+    p.set_defaults(fn=cmd_index)
+
+    p = sub.add_parser("generate",
+                       help="generate a synthetic corpus database")
+    p.add_argument("corpus", choices=("dblp", "xmark"))
+    p.add_argument("output")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--papers", type=int, default=2000,
+                   help="DBLP paper count")
+    p.add_argument("--scale", type=float, default=0.01,
+                   help="XMark scale factor")
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("info", help="database statistics and index sizes")
+    p.add_argument("database")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("explain",
+                       help="per-level plan of the join-based evaluation")
+    p.add_argument("database")
+    p.add_argument("query")
+    p.add_argument("--semantics", choices=("elca", "slca"),
+                   default="elca")
+    p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("bench",
+                       help="regenerate the paper's tables and figures")
+    p.add_argument("--small", action="store_true",
+                   help="fast smoke-scale configuration")
+    p.set_defaults(fn=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

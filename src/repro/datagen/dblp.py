@@ -1,0 +1,97 @@
+"""Synthetic DBLP-like corpus.
+
+The paper regroups the (very shallow) DBLP document by
+conference/journal and then year, giving the tree
+
+    dblp / conference / year / paper / {title, authors/author, abstract}
+
+which is the structure generated here.  Conferences get Zipf-ish sizes
+(big venues dominate, like the real DBLP), papers carry sampled titles,
+author elements and optional abstracts, and planted terms provide the
+frequency- and correlation-controlled keywords for the experiment
+workloads (paper Figures 9 and 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..xmltree.tree import Node, XMLTree
+from .text import PlantingPlan, TextSource, apply_planting
+
+
+class DBLPGenerator:
+    """Deterministic DBLP-like tree generator.
+
+    Parameters
+    ----------
+    seed:
+        Drives every random choice; same seed, same tree.
+    n_papers:
+        Total paper elements.
+    n_conferences / n_years:
+        Grouping fan-out above the papers.
+    title_words / abstract_words:
+        Text volume per paper; ``abstract_words = 0`` drops abstracts.
+    plan:
+        Planted terms / correlated groups (one *entity* = one paper).
+    """
+
+    def __init__(self, seed: int = 7, n_papers: int = 2000,
+                 n_conferences: int = 20, n_years: int = 8,
+                 title_words: int = 8, abstract_words: int = 0,
+                 max_authors: int = 4, vocab_size: int = 3000,
+                 plan: Optional[PlantingPlan] = None):
+        self.seed = seed
+        self.n_papers = n_papers
+        self.n_conferences = n_conferences
+        self.n_years = n_years
+        self.title_words = title_words
+        self.abstract_words = abstract_words
+        self.max_authors = max_authors
+        self.vocab_size = vocab_size
+        self.plan = plan if plan is not None else PlantingPlan()
+        self.realized_df: Dict[str, int] = {}
+
+    def generate(self) -> XMLTree:
+        """Build and freeze the tree (JDewey assignment is the caller's)."""
+        text = TextSource(self.seed, self.vocab_size)
+        names = TextSource(self.seed + 1, 500, prefix="author")
+        rng = np.random.default_rng(self.seed + 2)
+
+        root = Node("dblp")
+        conferences: List[List[Node]] = []  # [conf][year] -> year node
+        for c in range(self.n_conferences):
+            conf = root.add_child(Node("conference"))
+            conf.add_child(Node("name", f"conf{c:03d}"))
+            years = [conf.add_child(Node("year", str(1996 + y)))
+                     for y in range(self.n_years)]
+            conferences.append(years)
+
+        # Zipf-ish venue sizes: big conferences get most of the papers.
+        weights = (np.arange(1, self.n_conferences + 1) ** -0.8)
+        conf_probs = weights / weights.sum()
+        conf_of = rng.choice(self.n_conferences, size=self.n_papers,
+                             p=conf_probs)
+        year_of = rng.integers(self.n_years, size=self.n_papers)
+
+        paper_text_nodes: List[List[Node]] = []
+        for p in range(self.n_papers):
+            year_node = conferences[int(conf_of[p])][int(year_of[p])]
+            paper = year_node.add_child(Node("paper"))
+            title = paper.add_child(
+                Node("title", text.sentence(self.title_words)))
+            nodes = [title]
+            authors = paper.add_child(Node("authors"))
+            for _ in range(1 + int(rng.integers(self.max_authors))):
+                authors.add_child(Node("author", names.sentence(2)))
+            if self.abstract_words:
+                abstract = paper.add_child(
+                    Node("abstract", text.sentence(self.abstract_words)))
+                nodes.append(abstract)
+            paper_text_nodes.append(nodes)
+
+        self.realized_df = apply_planting(self.plan, paper_text_nodes, rng)
+        return XMLTree(root).freeze()

@@ -1,0 +1,113 @@
+"""Synthetic XMark-like corpus.
+
+Mirrors the XMark auction-site schema the paper's second data set uses:
+
+    site
+      regions / {africa, asia, europe, namerica, samerica} / item
+        -> name, description (text)
+      people / person -> name, profile/interest...
+      open_auctions / open_auction -> annotation/description, bidder...
+      closed_auctions / closed_auction -> annotation/description
+      categories / category -> name, description
+
+Element counts scale linearly with ``scale`` (XMark's factor-1.0 counts,
+scaled down to laptop size); text comes from the shared Zipf sampler and
+planted terms give the controlled workloads (one *entity* = one item /
+person / auction).  Compared to DBLP the tree is deeper and less
+uniform, exercising the level-by-level machinery on varied shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..xmltree.tree import Node, XMLTree
+from .text import PlantingPlan, TextSource, apply_planting
+
+_REGIONS = ("africa", "asia", "europe", "namerica", "samerica")
+
+# XMark factor-1.0 element counts (approximate) that `scale` multiplies.
+_BASE_ITEMS = 21_750
+_BASE_PEOPLE = 25_500
+_BASE_OPEN = 12_000
+_BASE_CLOSED = 9_750
+_BASE_CATEGORIES = 1_000
+
+
+class XMarkGenerator:
+    """Deterministic XMark-like tree generator."""
+
+    def __init__(self, seed: int = 7, scale: float = 0.01,
+                 description_words: int = 12, vocab_size: int = 3000,
+                 plan: Optional[PlantingPlan] = None):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.seed = seed
+        self.scale = scale
+        self.description_words = description_words
+        self.vocab_size = vocab_size
+        self.plan = plan if plan is not None else PlantingPlan()
+        self.realized_df: Dict[str, int] = {}
+
+    def _count(self, base: int) -> int:
+        return max(1, int(base * self.scale))
+
+    def generate(self) -> XMLTree:
+        text = TextSource(self.seed, self.vocab_size)
+        names = TextSource(self.seed + 1, 800, prefix="person")
+        rng = np.random.default_rng(self.seed + 2)
+
+        root = Node("site")
+        entity_nodes: List[List[Node]] = []
+
+        regions = root.add_child(Node("regions"))
+        region_nodes = [regions.add_child(Node(r)) for r in _REGIONS]
+        n_items = self._count(_BASE_ITEMS)
+        region_of = rng.integers(len(region_nodes), size=n_items)
+        for i in range(n_items):
+            item = region_nodes[int(region_of[i])].add_child(Node("item"))
+            name = item.add_child(Node("name", text.sentence(3)))
+            description = item.add_child(Node("description"))
+            para = description.add_child(
+                Node("text", text.sentence(self.description_words)))
+            entity_nodes.append([name, para])
+
+        people = root.add_child(Node("people"))
+        for _ in range(self._count(_BASE_PEOPLE)):
+            person = people.add_child(Node("person"))
+            name = person.add_child(Node("name", names.sentence(2)))
+            profile = person.add_child(Node("profile"))
+            interest = profile.add_child(Node("interest", text.sentence(4)))
+            entity_nodes.append([name, interest])
+
+        open_auctions = root.add_child(Node("open_auctions"))
+        for _ in range(self._count(_BASE_OPEN)):
+            auction = open_auctions.add_child(Node("open_auction"))
+            annotation = auction.add_child(Node("annotation"))
+            description = annotation.add_child(Node("description"))
+            para = description.add_child(
+                Node("text", text.sentence(self.description_words)))
+            auction.add_child(Node("initial", f"{rng.integers(1, 500)}.00"))
+            entity_nodes.append([para])
+
+        closed_auctions = root.add_child(Node("closed_auctions"))
+        for _ in range(self._count(_BASE_CLOSED)):
+            auction = closed_auctions.add_child(Node("closed_auction"))
+            annotation = auction.add_child(Node("annotation"))
+            description = annotation.add_child(Node("description"))
+            para = description.add_child(
+                Node("text", text.sentence(self.description_words)))
+            entity_nodes.append([para])
+
+        categories = root.add_child(Node("categories"))
+        for _ in range(self._count(_BASE_CATEGORIES)):
+            category = categories.add_child(Node("category"))
+            name = category.add_child(Node("name", text.sentence(2)))
+            description = category.add_child(
+                Node("description", text.sentence(6)))
+            entity_nodes.append([name, description])
+
+        self.realized_df = apply_planting(self.plan, entity_nodes, rng)
+        return XMLTree(root).freeze()

@@ -1,0 +1,143 @@
+"""Directory-based persistence for `XMLDatabase`.
+
+An indexed database saves to a directory::
+
+    mydb/
+      document.xml    the XML document (canonical serialization)
+      meta.json       format version, JDewey gap, ranking/tokenizer config
+      columnar.bin    the JDewey columnar index (exact scores)
+      dewey.bin       the document-ordered Dewey index (exact scores)
+
+Opening re-parses the document and re-derives the JDewey numbering
+(deterministic given the document and the recorded gap), then installs
+the stored postings directly, so queries on the opened database return
+byte-identical results to the original without re-tokenizing.
+
+Only the default `TfIdfScorer`/`SumCombiner` ranking configuration (any
+damping base) round-trips from metadata; databases built with custom
+scorers must be reopened with the matching `RankingModel` passed to
+`load_database`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .api import XMLDatabase
+from .index import storage
+from .index.columnar import ColumnarIndex
+from .index.inverted import InvertedIndex
+from .index.tokenizer import Tokenizer
+from .scoring.ranking import DampingFunction, RankingModel
+from .xmltree.parser import parse_xml
+
+FORMAT_VERSION = 1
+
+_DOCUMENT = "document.xml"
+_META = "meta.json"
+_COLUMNAR = "columnar.bin"
+_DEWEY = "dewey.bin"
+
+
+class DatabaseFormatError(ValueError):
+    """Raised when a database directory is missing pieces or mismatched."""
+
+
+def save_database(db: XMLDatabase, path: str) -> None:
+    """Write `db` (document + both indexes) to directory `path`.
+
+    Builds any index not yet built; existing files are overwritten.
+    """
+    os.makedirs(path, exist_ok=True)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "jdewey_gap": db.encoder.gap,
+        "n_docs": db.inverted_index.n_docs,
+        "damping_base": db.ranking.damping.base,
+        "tokenizer": {
+            "stopwords": sorted(db.tokenizer.stopwords),
+            "min_length": db.tokenizer.min_length,
+        },
+        "n_nodes": len(db.tree),
+    }
+    with open(os.path.join(path, _DOCUMENT), "w", encoding="utf-8") as f:
+        f.write(db.tree.to_xml())
+    with open(os.path.join(path, _COLUMNAR), "wb") as f:
+        f.write(storage.serialize_columnar_index(
+            db.columnar_index, score_mode=storage.SCORES_EXACT))
+    with open(os.path.join(path, _DEWEY), "wb") as f:
+        f.write(storage.serialize_inverted_index(
+            db.inverted_index, score_mode=storage.SCORES_EXACT))
+    # Metadata last: its presence marks a complete save.
+    with open(os.path.join(path, _META), "w", encoding="utf-8") as f:
+        json.dump(meta, f, indent=2, sort_keys=True)
+
+
+def load_database(path: str,
+                  ranking: Optional[RankingModel] = None) -> XMLDatabase:
+    """Open a directory written by `save_database`.
+
+    Raises `DatabaseFormatError` on missing files, version mismatch, or
+    a document that no longer matches the stored indexes.
+    """
+    meta_path = os.path.join(path, _META)
+    if not os.path.exists(meta_path):
+        raise DatabaseFormatError(f"{path!r} has no {_META} "
+                                  "(incomplete or not a database)")
+    with open(meta_path, "r", encoding="utf-8") as f:
+        meta = json.load(f)
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise DatabaseFormatError(
+            f"format version {meta.get('format_version')!r} unsupported "
+            f"(expected {FORMAT_VERSION})")
+
+    with open(os.path.join(path, _DOCUMENT), "r", encoding="utf-8") as f:
+        tree = parse_xml(f.read())
+    if len(tree) != meta["n_nodes"]:
+        raise DatabaseFormatError(
+            f"document has {len(tree)} nodes, metadata says "
+            f"{meta['n_nodes']}")
+
+    tokenizer = Tokenizer(stopwords=meta["tokenizer"]["stopwords"],
+                          min_length=meta["tokenizer"]["min_length"])
+    if ranking is None:
+        ranking = RankingModel(
+            damping=DampingFunction(meta["damping_base"]))
+    db = XMLDatabase(tree, tokenizer=tokenizer, ranking=ranking,
+                     jdewey_gap=meta["jdewey_gap"])
+
+    with open(os.path.join(path, _COLUMNAR), "rb") as f:
+        columnar_postings = storage.deserialize_columnar_index(f.read())
+    with open(os.path.join(path, _DEWEY), "rb") as f:
+        dewey_lists = storage.deserialize_inverted_index(f.read())
+    db._columnar = ColumnarIndex.from_postings(
+        tree, columnar_postings, tokenizer, ranking, meta["n_docs"])
+    db._inverted = InvertedIndex.from_lists(
+        tree, dewey_lists, tokenizer, ranking, meta["n_docs"])
+    _verify_consistency(db)
+    return db
+
+
+def _verify_consistency(db: XMLDatabase) -> None:
+    """Spot-check that the stored postings match the re-encoded tree.
+
+    The JDewey re-encoding is deterministic, so a mismatch means the
+    document file was edited after the indexes were written.
+    """
+    columnar = db._columnar
+    for term in columnar.vocabulary[:5]:
+        for seq in columnar.term_postings(term).seqs[:3]:
+            level, number = len(seq), seq[-1]
+            try:
+                node = columnar.node_at(level, number)
+            except KeyError:
+                raise DatabaseFormatError(
+                    f"stored posting for {term!r} points at a node "
+                    f"(level={level}, number={number}) absent from the "
+                    "document; files are out of sync")
+            if node.jdewey != seq:
+                raise DatabaseFormatError(
+                    f"stored posting for {term!r} disagrees with the "
+                    "re-encoded document; files are out of sync")

@@ -1,0 +1,168 @@
+"""Document-ordered Dewey inverted index.
+
+This is the substrate of the three baselines: the stack-based algorithm
+scans these lists in document order, the index-based algorithm binary-
+searches them, and RDIL pairs them with a score-ordered view.  Each
+posting records the occurrence node's Dewey id, term frequency and local
+score ``g(v, w)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..scoring.ranking import RankingModel
+from ..xmltree.dewey import Dewey, subtree_upper_bound
+from ..xmltree.tree import Node, XMLTree
+from .tokenizer import Tokenizer
+
+
+@dataclass
+class Posting:
+    """One keyword occurrence: a node that directly contains the term."""
+
+    dewey: Dewey
+    tf: int
+    score: float
+
+    @property
+    def level(self) -> int:
+        return len(self.dewey)
+
+
+@dataclass
+class PostingList:
+    """All occurrences of one term, sorted in document order.
+
+    The list is immutable once built; `deweys` is cached because the
+    index-based and RDIL baselines binary-search it constantly.
+    """
+
+    term: str
+    postings: List[Posting] = field(default_factory=list)
+    _deweys: Optional[List[Dewey]] = field(default=None, repr=False,
+                                           compare=False)
+
+    def __len__(self) -> int:
+        return len(self.postings)
+
+    @property
+    def deweys(self) -> List[Dewey]:
+        if self._deweys is None or len(self._deweys) != len(self.postings):
+            self._deweys = [p.dewey for p in self.postings]
+        return self._deweys
+
+    def max_score(self) -> float:
+        return max((p.score for p in self.postings), default=0.0)
+
+    def descendants_range(self, dewey: Sequence[int]) -> Tuple[int, int]:
+        """Index range [lo, hi) of postings inside `dewey`'s subtree."""
+        low = tuple(dewey)
+        high = subtree_upper_bound(dewey)
+        keys = self.deweys
+        return (bisect.bisect_left(keys, low), bisect.bisect_left(keys, high))
+
+    def has_descendant(self, dewey: Sequence[int]) -> bool:
+        lo, hi = self.descendants_range(dewey)
+        return hi > lo
+
+    def neighbours(self, dewey: Sequence[int]
+                   ) -> Tuple[Optional[Posting], Optional[Posting]]:
+        """Closest postings left/right of `dewey` in document order."""
+        keys = self.deweys
+        target = tuple(dewey)
+        pos = bisect.bisect_left(keys, target)
+        if pos < len(keys) and keys[pos] == target:
+            posting = self.postings[pos]
+            return posting, posting
+        left = self.postings[pos - 1] if pos > 0 else None
+        right = self.postings[pos] if pos < len(keys) else None
+        return left, right
+
+    def by_score_desc(self) -> List[Posting]:
+        """Postings sorted by local score, best first (RDIL's view)."""
+        return sorted(self.postings, key=lambda p: (-p.score, p.dewey))
+
+
+class InvertedIndex:
+    """Dewey inverted index over one document.
+
+    Built once per database; `term_list` returns the per-term posting
+    list (empty list for unknown terms, so k-keyword queries degrade
+    gracefully to empty results).
+    """
+
+    def __init__(self, tree: XMLTree, tokenizer: Optional[Tokenizer] = None,
+                 ranking: Optional[RankingModel] = None):
+        self.tree = tree
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        self.ranking = ranking if ranking is not None else RankingModel()
+        self._lists: Dict[str, PostingList] = {}
+        self.n_docs = 0
+        self._build()
+
+    @classmethod
+    def from_lists(cls, tree: XMLTree, lists: Dict[str, PostingList],
+                   tokenizer: Optional[Tokenizer] = None,
+                   ranking: Optional[RankingModel] = None,
+                   n_docs: int = 0) -> "InvertedIndex":
+        """Wrap pre-built posting lists (the persistence load path)."""
+        index = cls.__new__(cls)
+        index.tree = tree
+        index.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        index.ranking = ranking if ranking is not None else RankingModel()
+        index._lists = dict(lists)
+        index.n_docs = n_docs
+        return index
+
+    def _build(self) -> None:
+        # First pass: raw term frequencies per node, document frequencies.
+        raw: Dict[str, List[Tuple[Dewey, int, int]]] = {}
+        for node in self.tree.iter_document_order():
+            if not node.text:
+                continue
+            counts = self.tokenizer.term_frequencies(node.text)
+            if not counts:
+                continue
+            self.n_docs += 1
+            node_tokens = sum(counts.values())
+            for term, tf in counts.items():
+                raw.setdefault(term, []).append((node.dewey, tf, node_tokens))
+        # Second pass: local scores need df, so they come after the scan.
+        for term, entries in raw.items():
+            df = len(entries)
+            postings = [
+                Posting(dewey, tf,
+                        self.ranking.scorer.score(tf, df, self.n_docs, ntok))
+                for dewey, tf, ntok in entries
+            ]
+            self._lists[term] = PostingList(term, postings)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._lists
+
+    @property
+    def vocabulary(self) -> List[str]:
+        return sorted(self._lists)
+
+    def term_list(self, term: str) -> PostingList:
+        existing = self._lists.get(term)
+        if existing is not None:
+            return existing
+        return PostingList(term, [])
+
+    def document_frequency(self, term: str) -> int:
+        return len(self.term_list(term))
+
+    def query_lists(self, terms: Iterable[str]) -> List[PostingList]:
+        """Posting lists for a query, ordered shortest first.
+
+        The shortest-first order is the paper's left-deep join ordering
+        (section III-C) and the driver choice of the index-based
+        baseline.
+        """
+        lists = [self.term_list(t) for t in terms]
+        lists.sort(key=len)
+        return lists

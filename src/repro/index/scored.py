@@ -1,0 +1,149 @@
+"""Score-ordered view of a columnar inverted list (paper section IV-C).
+
+Damping makes "order by damped score at level l" depend on l, so a single
+score-sorted list cannot serve every column.  The paper's fix: group the
+JDewey sequences by length.  Within a group all occurrences damp by the
+same factor at any level, so one descending order per group works for
+every column; a per-column cursor then merges the group heads online.
+
+`ScoredPostings` holds the grouped view of one term; `ColumnCursor` is
+the merged per-level cursor the top-K star join consumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .columnar import ColumnarPostings
+
+
+class ScoreGroup:
+    """Sequences of one exact length, sorted by descending local score."""
+
+    __slots__ = ("length", "ordinals", "scores")
+
+    def __init__(self, length: int, ordinals: np.ndarray, scores: np.ndarray):
+        order = np.lexsort((ordinals, -scores))
+        self.length = length
+        self.ordinals = ordinals[order]
+        self.scores = scores[order]
+
+    def __len__(self) -> int:
+        return len(self.ordinals)
+
+
+class ScoredPostings:
+    """Length-grouped, score-sorted occurrences of one term."""
+
+    def __init__(self, postings: ColumnarPostings, damping_base: float):
+        if not 0.0 < damping_base <= 1.0:
+            raise ValueError("damping base must be in (0, 1]")
+        self.postings = postings
+        self.damping_base = damping_base
+        self.groups: Dict[int, ScoreGroup] = {}
+        lengths = postings.lengths
+        for length in np.unique(lengths):
+            mask = lengths == length
+            ordinals = np.nonzero(mask)[0].astype(np.int64)
+            self.groups[int(length)] = ScoreGroup(
+                int(length), ordinals, postings.scores[ordinals])
+        self.max_len = postings.max_len
+
+    def __len__(self) -> int:
+        return len(self.postings)
+
+    def damp(self, raw_score: float, length: int, level: int) -> float:
+        return raw_score * self.damping_base ** (length - level)
+
+    def max_damped(self, level: int) -> float:
+        """Upper bound s_m(level): best possible damped score in the column.
+
+        The bound scans group heads, so it stays valid even before any
+        cursor consumption (the paper uses the list-head scores s_m^i).
+        """
+        best = 0.0
+        for length, group in self.groups.items():
+            if length < level or len(group) == 0:
+                continue
+            best = max(best, self.damp(float(group.scores[0]), length, level))
+        return best
+
+    def cursor(self, level: int,
+               skip: Optional[Callable[[int], bool]] = None) -> "ColumnCursor":
+        """A fresh merged cursor over column `level`.
+
+        ``skip(ordinal) -> bool`` filters out erased sequences (consumed
+        by deeper ELCAs) so they never become witnesses.
+        """
+        return ColumnCursor(self, level, skip)
+
+
+class ColumnCursor:
+    """Merged descending-score cursor over one column of one term.
+
+    `peek_score` is the s^i of the top-K join (score of the next tuple);
+    `pop` returns ``(number, ordinal, damped_score)`` for the best
+    remaining occurrence at this level.
+    """
+
+    def __init__(self, scored: ScoredPostings, level: int,
+                 skip: Optional[Callable[[int], bool]] = None):
+        self.scored = scored
+        self.level = level
+        self.skip = skip
+        self._positions: Dict[int, int] = {}
+        self._heap: List[Tuple[float, int, int]] = []  # (-score, length, pos)
+        for length, group in scored.groups.items():
+            if length < level or len(group) == 0:
+                continue
+            self._positions[length] = 0
+            self._push_head(length, 0)
+        self.retrieved = 0
+
+    def _push_head(self, length: int, pos: int) -> None:
+        group = self.scored.groups[length]
+        while pos < len(group):
+            ordinal = int(group.ordinals[pos])
+            if self.skip is not None and self.skip(ordinal):
+                pos += 1
+                continue
+            damped = self.scored.damp(float(group.scores[pos]), length,
+                                      self.level)
+            heapq.heappush(self._heap, (-damped, length, pos))
+            self._positions[length] = pos
+            return
+        self._positions[length] = pos
+
+    def peek_score(self) -> Optional[float]:
+        """Damped score of the next occurrence, or None when exhausted."""
+        while self._heap:
+            neg_score, length, pos = self._heap[0]
+            group = self.scored.groups[length]
+            ordinal = int(group.ordinals[pos])
+            if self.skip is not None and self.skip(ordinal):
+                heapq.heappop(self._heap)
+                self._push_head(length, pos + 1)
+                continue
+            return -neg_score
+        return None
+
+    def pop(self) -> Optional[Tuple[int, int, float]]:
+        """Retrieve the best remaining occurrence: (number, ordinal, score)."""
+        while self._heap:
+            neg_score, length, pos = heapq.heappop(self._heap)
+            self._push_head(length, pos + 1)
+            group = self.scored.groups[length]
+            ordinal = int(group.ordinals[pos])
+            if self.skip is not None and self.skip(ordinal):
+                continue
+            number = self.scored.postings.value_at(ordinal, self.level)
+            self.retrieved += 1
+            return number, ordinal, -neg_score
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.peek_score() is None

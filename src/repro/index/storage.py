@@ -1,0 +1,345 @@
+"""On-disk formats and size accounting (paper Table I).
+
+Implements byte-accurate serialization for the two index families and
+size *models* for the baseline structures the paper measures:
+
+* ``join-based IL``  -- columnar JDewey lists, per-column compression
+  (section III-D), plus sparse per-column indices.
+* ``stack-based IL`` -- document-ordered Dewey lists with the prefix
+  compression of Xu & Papakonstantinou [6] (each id stores the length of
+  the prefix shared with its predecessor plus the new suffix).
+* ``index-based``    -- a single B-tree whose key entries are
+  ``(keyword, Dewey id)`` pairs, the BerkeleyDB layout the paper blames
+  for the size blow-up.
+* ``top-K join IL``  -- the columnar lists plus per-occurrence scores
+  and group-by-length headers (section IV-C).
+* ``RDIL``           -- the stack IL plus per-keyword B-trees over Dewey
+  ids.
+
+The columnar and Dewey serializers round-trip (tests assert equality);
+the B-tree numbers are cost models with explicit constants, since the
+actual baselines run in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..xmltree.dewey import Dewey
+from .columnar import ColumnarIndex, ColumnarPostings
+from .compression import (compress_column, decompress_column, read_varint,
+                          varint_size, write_varint)
+from .inverted import InvertedIndex, Posting, PostingList
+from .sparse import DEFAULT_GRANULARITY, SparseColumnIndex
+
+_MAGIC_COLUMNAR = b"JDXC"
+_MAGIC_DEWEY = b"DWIL"
+
+# B-tree cost-model constants (BerkeleyDB-flavoured).
+BTREE_ENTRY_OVERHEAD = 12   # per-entry header + leaf pointer bytes
+BTREE_FILL_FACTOR = 0.70    # leaf page utilization
+BTREE_INTERNAL_FACTOR = 1.10  # internal pages on top of the leaf level
+SCORE_BYTES = 2             # quantized per-occurrence score (top-K IL)
+
+
+# ---------------------------------------------------------------------------
+# Columnar (JDewey) serialization
+# ---------------------------------------------------------------------------
+
+SCORES_NONE = 0
+SCORES_QUANTIZED = 1   # 2-byte fixed point, the Table I size model
+SCORES_EXACT = 2       # float64, used by the persistence layer
+
+
+def serialize_columnar_postings(postings: ColumnarPostings,
+                                with_scores: bool = False,
+                                score_mode: int = None) -> bytes:
+    """Serialize one term's columnar list.
+
+    Layout: term, n_seqs, max_len, the varint column of sequence lengths,
+    then each level's compressed column.  The per-level seq ordinals are
+    *not* stored: they are implied by the lengths column (a sequence of
+    length >= l contributes the next value of column l, in order), which
+    is exactly the storage saving of the columnar layout.
+
+    ``score_mode`` is one of SCORES_NONE / SCORES_QUANTIZED /
+    SCORES_EXACT; ``with_scores=True`` is shorthand for the quantized
+    mode (the on-disk footprint Table I measures).
+    """
+    if score_mode is None:
+        score_mode = SCORES_QUANTIZED if with_scores else SCORES_NONE
+    out = bytearray()
+    term_bytes = postings.term.encode("utf-8")
+    write_varint(out, len(term_bytes))
+    out.extend(term_bytes)
+    write_varint(out, len(postings.seqs))
+    write_varint(out, postings.max_len)
+    out.append(score_mode)
+    for length in postings.lengths:
+        write_varint(out, int(length))
+    for level in range(1, postings.max_len + 1):
+        column = postings.column(level)
+        scheme, payload = compress_column(column.values)
+        out.append(0 if scheme == "rle" else 1)
+        write_varint(out, len(payload))
+        out.extend(payload)
+    if score_mode == SCORES_QUANTIZED:
+        quantized = np.asarray(postings.scores * 256.0, dtype=np.uint16)
+        out.extend(quantized.tobytes())
+    elif score_mode == SCORES_EXACT:
+        out.extend(np.asarray(postings.scores,
+                              dtype=np.float64).tobytes())
+    return bytes(out)
+
+
+def deserialize_columnar_postings(data: bytes, pos: int = 0
+                                  ) -> Tuple[ColumnarPostings, int]:
+    """Inverse of `serialize_columnar_postings`; returns (postings, next_pos).
+
+    Scores are restored at quantized precision when present, else zero.
+    """
+    term_len, pos = read_varint(data, pos)
+    term = data[pos: pos + term_len].decode("utf-8")
+    pos += term_len
+    n_seqs, pos = read_varint(data, pos)
+    max_len, pos = read_varint(data, pos)
+    score_mode = data[pos]
+    pos += 1
+    lengths: List[int] = []
+    for _ in range(n_seqs):
+        length, pos = read_varint(data, pos)
+        lengths.append(length)
+    seqs: List[List[int]] = [[] for _ in range(n_seqs)]
+    for level in range(1, max_len + 1):
+        scheme_byte = data[pos]
+        pos += 1
+        payload_len, pos = read_varint(data, pos)
+        payload = data[pos: pos + payload_len]
+        pos += payload_len
+        values = decompress_column("rle" if scheme_byte == 0 else "delta",
+                                   payload)
+        cursor = 0
+        for i in range(n_seqs):
+            if lengths[i] >= level:
+                seqs[i].append(int(values[cursor]))
+                cursor += 1
+    scores: List[float]
+    if score_mode == SCORES_QUANTIZED:
+        raw = np.frombuffer(data, dtype=np.uint16, count=n_seqs, offset=pos)
+        pos += 2 * n_seqs
+        scores = [float(v) / 256.0 for v in raw]
+    elif score_mode == SCORES_EXACT:
+        raw = np.frombuffer(data, dtype=np.float64, count=n_seqs,
+                            offset=pos)
+        pos += 8 * n_seqs
+        scores = [float(v) for v in raw]
+    elif score_mode == SCORES_NONE:
+        scores = [0.0] * n_seqs
+    else:
+        raise ValueError(f"unknown score mode {score_mode}")
+    postings = ColumnarPostings(term, [tuple(s) for s in seqs], scores)
+    return postings, pos
+
+
+def serialize_columnar_index(index: ColumnarIndex,
+                             with_scores: bool = False,
+                             score_mode: int = None) -> bytes:
+    """Serialize every term of a columnar index."""
+    out = bytearray(_MAGIC_COLUMNAR)
+    terms = index.vocabulary
+    write_varint(out, len(terms))
+    for term in terms:
+        out.extend(serialize_columnar_postings(index.term_postings(term),
+                                               with_scores, score_mode))
+    return bytes(out)
+
+
+def deserialize_columnar_index(data: bytes) -> Dict[str, ColumnarPostings]:
+    """Load the per-term postings written by `serialize_columnar_index`."""
+    if data[:4] != _MAGIC_COLUMNAR:
+        raise ValueError("not a columnar index blob")
+    pos = 4
+    n_terms, pos = read_varint(data, pos)
+    result: Dict[str, ColumnarPostings] = {}
+    for _ in range(n_terms):
+        postings, pos = deserialize_columnar_postings(data, pos)
+        result[postings.term] = postings
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Dewey (document-ordered) serialization with prefix compression
+# ---------------------------------------------------------------------------
+
+def serialize_posting_list(plist: PostingList,
+                           score_mode: int = 0) -> bytes:
+    """Prefix-compressed Dewey list: (shared_prefix_len, suffix..., tf).
+
+    ``score_mode`` as in `serialize_columnar_postings`; Table I uses
+    SCORES_NONE (the baselines score at query time), the persistence
+    layer uses SCORES_EXACT.
+    """
+    out = bytearray()
+    term_bytes = plist.term.encode("utf-8")
+    write_varint(out, len(term_bytes))
+    out.extend(term_bytes)
+    write_varint(out, len(plist))
+    out.append(score_mode)
+    prev: Dewey = ()
+    for posting in plist.postings:
+        dewey = posting.dewey
+        shared = 0
+        limit = min(len(prev), len(dewey))
+        while shared < limit and prev[shared] == dewey[shared]:
+            shared += 1
+        write_varint(out, shared)
+        write_varint(out, len(dewey) - shared)
+        for component in dewey[shared:]:
+            write_varint(out, component)
+        write_varint(out, posting.tf)
+        prev = dewey
+    if score_mode == SCORES_QUANTIZED:
+        quantized = np.asarray([p.score for p in plist.postings],
+                               dtype=np.float64) * 256.0
+        out.extend(quantized.astype(np.uint16).tobytes())
+    elif score_mode == SCORES_EXACT:
+        out.extend(np.asarray([p.score for p in plist.postings],
+                              dtype=np.float64).tobytes())
+    return bytes(out)
+
+
+def deserialize_posting_list(data: bytes, pos: int = 0
+                             ) -> Tuple[PostingList, int]:
+    term_len, pos = read_varint(data, pos)
+    term = data[pos: pos + term_len].decode("utf-8")
+    pos += term_len
+    count, pos = read_varint(data, pos)
+    score_mode = data[pos]
+    pos += 1
+    postings: List[Posting] = []
+    prev: Tuple[int, ...] = ()
+    for _ in range(count):
+        shared, pos = read_varint(data, pos)
+        n_suffix, pos = read_varint(data, pos)
+        suffix: List[int] = []
+        for _ in range(n_suffix):
+            component, pos = read_varint(data, pos)
+            suffix.append(component)
+        tf, pos = read_varint(data, pos)
+        dewey = prev[:shared] + tuple(suffix)
+        postings.append(Posting(dewey, tf, 0.0))
+        prev = dewey
+    if score_mode == SCORES_QUANTIZED:
+        raw = np.frombuffer(data, dtype=np.uint16, count=count, offset=pos)
+        pos += 2 * count
+        for posting, value in zip(postings, raw):
+            posting.score = float(value) / 256.0
+    elif score_mode == SCORES_EXACT:
+        raw = np.frombuffer(data, dtype=np.float64, count=count,
+                            offset=pos)
+        pos += 8 * count
+        for posting, value in zip(postings, raw):
+            posting.score = float(value)
+    elif score_mode != SCORES_NONE:
+        raise ValueError(f"unknown score mode {score_mode}")
+    return PostingList(term, postings), pos
+
+
+def serialize_inverted_index(index: InvertedIndex,
+                             score_mode: int = 0) -> bytes:
+    out = bytearray(_MAGIC_DEWEY)
+    terms = index.vocabulary
+    write_varint(out, len(terms))
+    for term in terms:
+        out.extend(serialize_posting_list(index.term_list(term),
+                                          score_mode))
+    return bytes(out)
+
+
+def deserialize_inverted_index(data: bytes) -> Dict[str, PostingList]:
+    if data[:4] != _MAGIC_DEWEY:
+        raise ValueError("not a Dewey inverted-list blob")
+    pos = 4
+    n_terms, pos = read_varint(data, pos)
+    result: Dict[str, PostingList] = {}
+    for _ in range(n_terms):
+        plist, pos = deserialize_posting_list(data, pos)
+        result[plist.term] = plist
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Size accounting (Table I)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class IndexSizeReport:
+    """Byte sizes of every structure Table I compares."""
+
+    join_based_il: int = 0
+    join_based_sparse: int = 0
+    stack_based_il: int = 0
+    index_based_btree: int = 0
+    topk_join_il: int = 0
+    rdil_il: int = 0
+    rdil_btree: int = 0
+    per_term: Dict[str, int] = field(default_factory=dict)
+
+    def as_rows(self) -> List[Tuple[str, int]]:
+        return [
+            ("join-based IL", self.join_based_il),
+            ("join-based sparse", self.join_based_sparse),
+            ("stack-based IL", self.stack_based_il),
+            ("index-based B-tree", self.index_based_btree),
+            ("top-K join IL", self.topk_join_il),
+            ("RDIL IL", self.rdil_il),
+            ("RDIL B-tree", self.rdil_btree),
+        ]
+
+
+def _btree_size(total_key_bytes: int, n_entries: int) -> int:
+    leaf = (total_key_bytes + n_entries * BTREE_ENTRY_OVERHEAD)
+    return int(leaf / BTREE_FILL_FACTOR * BTREE_INTERNAL_FACTOR)
+
+
+def measure_sizes(columnar: ColumnarIndex, inverted: InvertedIndex,
+                  granularity: int = DEFAULT_GRANULARITY) -> IndexSizeReport:
+    """Compute every Table I cell for one document."""
+    report = IndexSizeReport()
+    for term in columnar.vocabulary:
+        postings = columnar.term_postings(term)
+        blob = serialize_columnar_postings(postings, with_scores=False)
+        report.join_based_il += len(blob)
+        report.per_term[term] = len(blob)
+        scored_blob = serialize_columnar_postings(postings, with_scores=True)
+        # Group-by-length headers: one (length, count) varint pair per group.
+        group_header = sum(
+            varint_size(int(length)) + varint_size(int(count))
+            for length, count in zip(*np.unique(postings.lengths,
+                                                return_counts=True)))
+        report.topk_join_il += len(scored_blob) + group_header
+        for level in range(1, postings.max_len + 1):
+            column = postings.column(level)
+            sparse = SparseColumnIndex(column.distinct, granularity)
+            report.join_based_sparse += sparse.size_bytes()
+
+    btree_key_bytes = 0
+    btree_entries = 0
+    rdil_key_bytes = 0
+    for term in inverted.vocabulary:
+        plist = inverted.term_list(term)
+        report.stack_based_il += len(serialize_posting_list(plist))
+        term_bytes = len(term.encode("utf-8"))
+        for posting in plist.postings:
+            dewey_bytes = sum(varint_size(c) for c in posting.dewey)
+            # Index-based baseline: the key entry repeats the keyword.
+            btree_key_bytes += term_bytes + dewey_bytes
+            rdil_key_bytes += dewey_bytes
+            btree_entries += 1
+    report.index_based_btree = _btree_size(btree_key_bytes, btree_entries)
+    report.rdil_il = report.stack_based_il
+    report.rdil_btree = _btree_size(rdil_key_bytes, btree_entries)
+    return report

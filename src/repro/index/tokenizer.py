@@ -1,0 +1,63 @@
+"""Tokenization of element text into keyword occurrences.
+
+A node "directly contains" keyword ``w`` when ``w`` appears among the
+tokens of the node's own text (descendants' text belongs to the
+descendants).  The tokenizer is deliberately simple -- lowercase word
+characters, optional stopword removal -- mirroring the Lucene analyzer
+role in the paper's setup.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, List
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
+
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset({
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in",
+    "is", "it", "of", "on", "or", "the", "to", "with",
+})
+
+
+class Tokenizer:
+    """Configurable text tokenizer.
+
+    Parameters
+    ----------
+    stopwords:
+        Tokens to drop; pass an empty set to keep everything.
+    min_length:
+        Tokens shorter than this are dropped.
+    """
+
+    def __init__(self, stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+                 min_length: int = 1):
+        self.stopwords = frozenset(stopwords)
+        self.min_length = min_length
+
+    def tokens(self, text: str) -> List[str]:
+        """Tokens of `text` in order, stopwords and short tokens removed."""
+        found = _TOKEN_RE.findall(text.lower())
+        return [t for t in found
+                if len(t) >= self.min_length and t not in self.stopwords]
+
+    def term_frequencies(self, text: str) -> Dict[str, int]:
+        """Token -> occurrence count within `text`."""
+        counts: Dict[str, int] = {}
+        for token in self.tokens(text):
+            counts[token] = counts.get(token, 0) + 1
+        return counts
+
+    def query_terms(self, query: str) -> List[str]:
+        """Distinct query keywords in first-appearance order.
+
+        Stopwords are *kept* for queries -- a user searching a stopword
+        should still match -- but duplicates are collapsed because the
+        LCA semantics is set-based.
+        """
+        seen: Dict[str, None] = {}
+        for token in _TOKEN_RE.findall(query.lower()):
+            if len(token) >= self.min_length:
+                seen.setdefault(token, None)
+        return list(seen)

@@ -1,0 +1,19 @@
+"""Query planning: join-algorithm selection and cardinality estimation."""
+
+from .plans import (DYNAMIC, INDEX, MERGE, POLICIES, JoinPlanner,
+                    index_intersect, merge_intersect)
+from .cardinality import (CardinalityEstimator, containment_estimate,
+                          sampled_estimate)
+
+__all__ = [
+    "DYNAMIC",
+    "INDEX",
+    "MERGE",
+    "POLICIES",
+    "JoinPlanner",
+    "index_intersect",
+    "merge_intersect",
+    "CardinalityEstimator",
+    "containment_estimate",
+    "sampled_estimate",
+]

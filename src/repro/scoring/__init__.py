@@ -1,0 +1,17 @@
+"""Ranking functions: local scores, damping, monotone aggregation."""
+
+from .ranking import (Combiner, ConstantScorer, DampingFunction, LocalScorer,
+                      MaxCombiner, RankingModel, SumCombiner, TfIdfScorer,
+                      WeightedSumCombiner)
+
+__all__ = [
+    "Combiner",
+    "ConstantScorer",
+    "DampingFunction",
+    "LocalScorer",
+    "MaxCombiner",
+    "RankingModel",
+    "SumCombiner",
+    "TfIdfScorer",
+    "WeightedSumCombiner",
+]

@@ -1,0 +1,21 @@
+"""XML substrate: tree model, parser, Dewey and JDewey encodings."""
+
+from .tree import Node, XMLTree, build_tree
+from .parser import XMLParseError, parse_xml, parse_xml_file
+from . import dewey
+from .jdewey import (JDeweyEncoder, encode_tree, jdewey_sort_key,
+                     lca_from_sequences)
+
+__all__ = [
+    "Node",
+    "XMLTree",
+    "build_tree",
+    "XMLParseError",
+    "parse_xml",
+    "parse_xml_file",
+    "dewey",
+    "JDeweyEncoder",
+    "encode_tree",
+    "jdewey_sort_key",
+    "lca_from_sequences",
+]

@@ -1,0 +1,99 @@
+"""Tests for shared result types and small utilities
+(`repro.algorithms.base`) plus the strict query mode."""
+
+import pytest
+
+from repro import XMLDatabase
+from repro.algorithms.base import (EmptyResultError, ExecutionStats,
+                                   SearchResult, TopKResult,
+                                   check_semantics, sort_by_document_order,
+                                   sort_by_score)
+from repro.xmltree.tree import build_tree
+
+
+@pytest.fixture
+def results():
+    tree = build_tree(("r", [("a", "x", []), ("b", "y", []),
+                             ("c", "z", [])]))
+    nodes = [tree.node_by_dewey(d) for d in [(1, 1), (1, 2), (1, 3)]]
+    return [
+        SearchResult(nodes[0], 2, score=0.5),
+        SearchResult(nodes[1], 2, score=0.9),
+        SearchResult(nodes[2], 2, score=0.9),
+    ]
+
+
+class TestSorting:
+    def test_sort_by_score_descending_with_doc_tiebreak(self, results):
+        ordered = sort_by_score(results)
+        assert [r.score for r in ordered] == [0.9, 0.9, 0.5]
+        assert ordered[0].node.dewey < ordered[1].node.dewey
+
+    def test_sort_by_document_order(self, results):
+        shuffled = [results[2], results[0], results[1]]
+        ordered = sort_by_document_order(shuffled)
+        assert [r.node.dewey for r in ordered] == \
+            [(1, 1), (1, 2), (1, 3)]
+
+
+class TestSearchResult:
+    def test_dewey_property(self, results):
+        assert results[0].dewey == (1, 1)
+
+    def test_default_fields(self, results):
+        assert results[0].witness_scores == ()
+
+
+class TestExecutionStats:
+    def test_as_dict_keys(self):
+        stats = ExecutionStats()
+        stats.joins = 3
+        stats.tuples_scanned = 99
+        d = stats.as_dict()
+        assert d["joins"] == 3
+        assert d["tuples_scanned"] == 99
+        assert "threshold_checks" in d
+
+    def test_per_level_plan_not_in_dict(self):
+        assert "per_level_plan" not in ExecutionStats().as_dict()
+
+
+class TestTopKResult:
+    def test_iter_and_len(self, results):
+        tr = TopKResult(results, ExecutionStats())
+        assert len(tr) == 3
+        assert list(tr) == results
+
+    def test_default_not_early(self, results):
+        assert not TopKResult(results, ExecutionStats()).terminated_early
+
+
+class TestCheckSemantics:
+    def test_valid(self):
+        assert check_semantics("elca") == "elca"
+        assert check_semantics("slca") == "slca"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            check_semantics("lca")
+
+
+class TestStrictMode:
+    @pytest.fixture
+    def db(self):
+        return XMLDatabase.from_xml_text("<r><a>xml data</a></r>")
+
+    def test_strict_search_raises_on_missing_term(self, db):
+        with pytest.raises(EmptyResultError) as exc:
+            db.search("xml missing", strict=True)
+        assert "missing" in str(exc.value)
+
+    def test_strict_topk_raises(self, db):
+        with pytest.raises(EmptyResultError):
+            db.search_topk("xml nothere", 3, strict=True)
+
+    def test_strict_passes_when_all_present(self, db):
+        assert db.search("xml data", strict=True)
+
+    def test_default_is_lenient(self, db):
+        assert db.search("xml missing") == []

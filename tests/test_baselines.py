@@ -1,0 +1,96 @@
+"""Tests for the stack-based and index-based baselines."""
+
+import pytest
+
+from repro.algorithms.index_based import IndexBasedSearch
+from repro.algorithms.oracle import SemanticsOracle
+from repro.algorithms.stack_based import StackBasedSearch
+
+
+@pytest.fixture(params=["stack", "index"])
+def baseline_cls(request):
+    return {"stack": StackBasedSearch, "index": IndexBasedSearch}[
+        request.param]
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("semantics", ["elca", "slca"])
+    def test_small_document(self, small_db, baseline_cls, semantics):
+        expected = small_db.search("xml data", semantics=semantics,
+                                   algorithm="oracle")
+        results, _ = baseline_cls(small_db.inverted_index).evaluate(
+            ["xml", "data"], semantics)
+        assert [(r.node.dewey, round(r.score, 9)) for r in results] == \
+            [(r.node.dewey, round(r.score, 9)) for r in expected]
+
+    @pytest.mark.parametrize("semantics", ["elca", "slca"])
+    def test_figure1_tree(self, fig1_db, baseline_cls, semantics):
+        expected = fig1_db.search(["xml", "data"], semantics=semantics,
+                                  algorithm="oracle")
+        results, _ = baseline_cls(fig1_db.inverted_index).evaluate(
+            ["xml", "data"], semantics)
+        assert [(r.node.dewey, round(r.score, 9)) for r in results] == \
+            [(r.node.dewey, round(r.score, 9)) for r in expected]
+
+    @pytest.mark.parametrize("semantics", ["elca", "slca"])
+    def test_three_keywords_on_corpus(self, corpus_db, baseline_cls,
+                                      semantics):
+        oracle = SemanticsOracle(corpus_db.tree, corpus_db.inverted_index)
+        terms = ["alpha", "beta", "gamma"]
+        expected = oracle.evaluate(terms, semantics)
+        results, _ = baseline_cls(corpus_db.inverted_index).evaluate(
+            terms, semantics)
+        assert [(r.node.dewey, round(r.score, 9)) for r in results] == \
+            [(r.node.dewey, round(r.score, 9)) for r in expected]
+
+    def test_single_keyword(self, fig1_db, baseline_cls):
+        expected = fig1_db.search(["data"], algorithm="oracle")
+        results, _ = baseline_cls(fig1_db.inverted_index).evaluate(
+            ["data"], "elca")
+        assert [r.node.dewey for r in results] == \
+            [r.node.dewey for r in expected]
+
+
+class TestEdgeCases:
+    def test_empty_query(self, small_db, baseline_cls):
+        results, _ = baseline_cls(small_db.inverted_index).evaluate(
+            [], "elca")
+        assert results == []
+
+    def test_unknown_keyword(self, small_db, baseline_cls):
+        results, _ = baseline_cls(small_db.inverted_index).evaluate(
+            ["xml", "zzz"], "elca")
+        assert results == []
+
+    def test_invalid_semantics(self, small_db, baseline_cls):
+        with pytest.raises(ValueError):
+            baseline_cls(small_db.inverted_index).evaluate(["xml"], "nope")
+
+
+class TestStackCharacteristics:
+    def test_scans_every_posting(self, corpus_db):
+        """The paper's observation: the stack sweep always reads every
+        list completely, so work tracks the *highest* frequency."""
+        inv = corpus_db.inverted_index
+        _, stats = StackBasedSearch(inv).evaluate(["rare", "gamma"], "elca")
+        total = (inv.document_frequency("rare")
+                 + inv.document_frequency("gamma"))
+        assert stats.tuples_scanned == total
+
+    def test_without_scores(self, small_db):
+        results, _ = StackBasedSearch(small_db.inverted_index).evaluate(
+            ["xml", "data"], "elca", with_scores=False)
+        assert all(r.score == 0.0 for r in results)
+
+
+class TestIndexCharacteristics:
+    def test_work_tracks_shortest_list(self, corpus_db):
+        """The index-based driver scans only the shortest list."""
+        inv = corpus_db.inverted_index
+        _, stats = IndexBasedSearch(inv).evaluate(["rare", "gamma"], "elca")
+        assert stats.tuples_scanned == inv.document_frequency("rare")
+
+    def test_lookup_counter_positive(self, corpus_db):
+        _, stats = IndexBasedSearch(corpus_db.inverted_index).evaluate(
+            ["alpha", "beta"], "elca")
+        assert stats.lookups > 0

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface (`repro.cli`)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import SMALL_XML
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(SMALL_XML, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def db_dir(tmp_path, xml_file):
+    out = str(tmp_path / "db")
+    assert main(["index", xml_file, out]) == 0
+    return out
+
+
+class TestSearch:
+    def test_search_xml_file(self, xml_file, capsys):
+        assert main(["search", xml_file, "xml data"]) == 0
+        out = capsys.readouterr().out
+        assert "results in" in out
+        assert "<section>" in out
+
+    def test_search_database_dir(self, db_dir, capsys):
+        assert main(["search", db_dir, "xml data"]) == 0
+        assert "<section>" in capsys.readouterr().out
+
+    def test_semantics_flag(self, xml_file, capsys):
+        assert main(["search", xml_file, "xml data",
+                     "--semantics", "slca"]) == 0
+        assert "results" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algorithm", ["join", "stack", "index"])
+    def test_algorithm_flag(self, xml_file, algorithm, capsys):
+        assert main(["search", xml_file, "xml data",
+                     "--algorithm", algorithm]) == 0
+
+    def test_limit_truncates_output(self, xml_file, capsys):
+        assert main(["search", xml_file, "xml", "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "more" in out
+
+    def test_missing_file_error(self, capsys):
+        assert main(["search", "/nonexistent.xml", "xml"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTopK:
+    def test_topk(self, xml_file, capsys):
+        assert main(["topk", xml_file, "xml data", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count(". <") <= 2
+
+    @pytest.mark.parametrize("algorithm", ["topk-join", "rdil", "hybrid"])
+    def test_topk_algorithms(self, db_dir, algorithm, capsys):
+        assert main(["topk", db_dir, "xml data", "-k", "2",
+                     "--algorithm", algorithm]) == 0
+
+
+class TestIndexAndGenerate:
+    def test_index_creates_database(self, db_dir):
+        assert os.path.exists(os.path.join(db_dir, "meta.json"))
+
+    def test_generate_dblp(self, tmp_path, capsys):
+        out = str(tmp_path / "gen")
+        assert main(["generate", "dblp", out, "--papers", "50",
+                     "--seed", "3"]) == 0
+        assert os.path.exists(os.path.join(out, "columnar.bin"))
+        assert "generated dblp" in capsys.readouterr().out
+
+    def test_generate_xmark(self, tmp_path, capsys):
+        out = str(tmp_path / "gen")
+        assert main(["generate", "xmark", out, "--scale", "0.002"]) == 0
+        assert os.path.exists(os.path.join(out, "dewey.bin"))
+
+
+class TestInfo:
+    def test_info(self, db_dir, capsys):
+        assert main(["info", db_dir]) == 0
+        out = capsys.readouterr().out
+        assert "vocabulary" in out
+        assert "join-based IL" in out
+
+    def test_info_on_xml(self, xml_file, capsys):
+        assert main(["info", xml_file]) == 0
+        assert "nodes" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_delegates_to_harness(self, monkeypatch, capsys):
+        calls = {}
+
+        def fake_main(config=None):
+            calls["config"] = config
+
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "main", fake_main)
+        assert main(["bench", "--small"]) == 0
+        assert calls["config"] is not None
+        assert calls["config"].n_papers < 10_000
+
+
+class TestParser:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

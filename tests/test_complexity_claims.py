@@ -1,0 +1,115 @@
+"""Scale-free checks of the paper's complexity claims (section III-C).
+
+The paper states per-algorithm complexities:
+
+* stack-based:  O(d * sum_i |L_i|)       -- scans every posting;
+* index-based:  O(d * k * |L_1| * log|L|) -- driven by the shortest list;
+* join-based:   merge join O(sum_i |L_i|) or index join
+                O(k * |L_1| * log|L|) per level, whichever the planner
+                picks.
+
+These tests assert the *work counters* scale the way the formulas say
+when one knob moves and everything else is pinned -- a complement to the
+wall-clock benchmarks that is immune to machine noise.
+"""
+
+import pytest
+
+from repro import XMLDatabase
+from repro.algorithms.index_based import IndexBasedSearch
+from repro.algorithms.join_based import JoinBasedSearch
+from repro.algorithms.stack_based import StackBasedSearch
+from repro.datagen import DBLPGenerator, PlantedTerm, PlantingPlan
+from repro.planner.plans import JoinPlanner
+
+
+def make_db(low_df, high_df=400, n_papers=1200, seed=5):
+    plan = PlantingPlan(planted=[
+        PlantedTerm("hifix", high_df),
+        PlantedTerm("losweep", low_df),
+    ])
+    tree = DBLPGenerator(seed=seed, n_papers=n_papers, plan=plan).generate()
+    return XMLDatabase.from_tree(tree)
+
+
+@pytest.fixture(scope="module")
+def sweep_dbs():
+    return {low: make_db(low) for low in (10, 40, 160)}
+
+
+class TestStackScalesWithTotalInput:
+    def test_tuples_equal_sum_of_lists(self, sweep_dbs):
+        for low, db in sweep_dbs.items():
+            _, stats = StackBasedSearch(db.inverted_index).evaluate(
+                ["hifix", "losweep"], "elca", with_scores=False)
+            total = (db.document_frequency("hifix")
+                     + db.document_frequency("losweep"))
+            assert stats.tuples_scanned == total
+
+    def test_flat_in_low_frequency(self, sweep_dbs):
+        scans = []
+        for low, db in sorted(sweep_dbs.items()):
+            _, stats = StackBasedSearch(db.inverted_index).evaluate(
+                ["hifix", "losweep"], "elca", with_scores=False)
+            scans.append(stats.tuples_scanned)
+        # Dominated by the fixed high-frequency list: under 2x spread
+        # while the low frequency varies 16x.
+        assert max(scans) < 2 * min(scans)
+
+
+class TestIndexBasedScalesWithShortestList:
+    def test_driver_scans_exactly_l1(self, sweep_dbs):
+        for low, db in sweep_dbs.items():
+            _, stats = IndexBasedSearch(db.inverted_index).evaluate(
+                ["hifix", "losweep"], "elca", with_scores=False)
+            assert stats.tuples_scanned == low
+
+    def test_lookups_linear_in_l1(self, sweep_dbs):
+        lookups = {}
+        for low, db in sorted(sweep_dbs.items()):
+            _, stats = IndexBasedSearch(db.inverted_index).evaluate(
+                ["hifix", "losweep"], "elca", with_scores=False)
+            lookups[low] = stats.lookups
+        # 16x more driver postings -> lookup volume grows superlinearly
+        # with |L1| (candidate generation is one lookup set per posting).
+        assert lookups[160] > 8 * lookups[10]
+
+
+class TestJoinBasedPlans:
+    def test_forced_merge_scans_both_columns(self, sweep_dbs):
+        db = sweep_dbs[10]
+        engine = JoinBasedSearch(db.columnar_index, JoinPlanner("merge"))
+        _, stats = engine.evaluate(["hifix", "losweep"], "elca",
+                                   with_scores=False)
+        # Every processed level scans at least the large distinct column.
+        assert stats.tuples_scanned >= 300 * stats.levels_processed / 2
+        assert stats.lookups == 0
+
+    def test_forced_index_probes_short_side(self, sweep_dbs):
+        db = sweep_dbs[10]
+        engine = JoinBasedSearch(db.columnar_index, JoinPlanner("index"))
+        _, stats = engine.evaluate(["hifix", "losweep"], "elca",
+                                   with_scores=False)
+        assert stats.tuples_scanned == 0
+        # Probes are bounded by |L1| per level (plus erased dupes).
+        assert stats.lookups <= 10 * stats.levels_processed + 10
+
+    def test_dynamic_work_bounded_by_best_forced_plan(self, sweep_dbs):
+        for low, db in sweep_dbs.items():
+            work = {}
+            for policy in ("dynamic", "merge", "index"):
+                engine = JoinBasedSearch(db.columnar_index,
+                                         JoinPlanner(policy))
+                _, stats = engine.evaluate(["hifix", "losweep"], "elca",
+                                           with_scores=False)
+                # Weigh probes like log-cost lookups (~10 comparisons).
+                work[policy] = stats.tuples_scanned + 10 * stats.lookups
+            assert work["dynamic"] <= 1.2 * min(work["merge"],
+                                                work["index"]) + 50
+
+
+class TestResultCounts:
+    def test_result_count_grows_with_low_frequency(self, sweep_dbs):
+        counts = [len(db.search(["hifix", "losweep"]))
+                  for _, db in sorted(sweep_dbs.items())]
+        assert counts[0] <= counts[1] <= counts[2]

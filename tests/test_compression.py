@@ -1,0 +1,112 @@
+"""Tests for column compression (`repro.index.compression`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index import compression as cmp
+
+sorted_columns = st.lists(st.integers(0, 10_000), min_size=0,
+                          max_size=300).map(sorted)
+
+
+class TestVarints:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2 ** 21, 2 ** 40])
+    def test_roundtrip_single(self, value):
+        out = bytearray()
+        cmp.write_varint(out, value)
+        decoded, pos = cmp.read_varint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out) == cmp.varint_size(value)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            cmp.write_varint(bytearray(), -1)
+
+    @given(st.lists(st.integers(0, 2 ** 32), max_size=50))
+    def test_roundtrip_stream(self, values):
+        assert cmp.decode_varints(cmp.encode_varints(values)) == values
+
+
+class TestDeltaBlocks:
+    def test_roundtrip_basic(self):
+        values = [3, 3, 5, 9, 9, 120, 4000]
+        decoded = cmp.decode_delta_blocks(cmp.encode_delta_blocks(values))
+        assert list(decoded) == values
+
+    def test_roundtrip_empty(self):
+        assert list(cmp.decode_delta_blocks(
+            cmp.encode_delta_blocks([]))) == []
+
+    def test_block_boundaries(self):
+        values = list(range(0, 1000, 3))
+        data = cmp.encode_delta_blocks(values, block_size=16)
+        assert list(cmp.decode_delta_blocks(data)) == values
+
+    def test_unsorted_raises(self):
+        with pytest.raises(ValueError):
+            cmp.encode_delta_blocks([5, 3])
+
+    def test_smaller_than_fixed_width_for_dense_columns(self):
+        values = list(range(10_000, 20_000))
+        data = cmp.encode_delta_blocks(values)
+        assert len(data) < cmp.uncompressed_size(values)
+
+    @given(sorted_columns)
+    def test_roundtrip_property(self, values):
+        decoded = cmp.decode_delta_blocks(cmp.encode_delta_blocks(values))
+        assert list(decoded) == values
+
+
+class TestRLE:
+    def test_runs_of(self):
+        triples = cmp.runs_of([2, 2, 2, 4, 7, 7])
+        assert triples == [(2, 0, 3), (4, 3, 1), (7, 4, 2)]
+
+    def test_runs_of_empty(self):
+        assert cmp.runs_of([]) == []
+
+    def test_roundtrip_basic(self):
+        values = [1, 1, 1, 1, 8, 8, 9]
+        assert list(cmp.decode_rle(cmp.encode_rle(values))) == values
+
+    def test_roundtrip_empty(self):
+        assert list(cmp.decode_rle(cmp.encode_rle([]))) == []
+
+    def test_unsorted_raises(self):
+        with pytest.raises(ValueError):
+            cmp.encode_rle([5, 3])
+
+    def test_duplicates_compress_well(self):
+        values = [7] * 10_000
+        assert len(cmp.encode_rle(values)) < 16
+
+    @given(sorted_columns)
+    def test_roundtrip_property(self, values):
+        assert list(cmp.decode_rle(cmp.encode_rle(values))) == values
+
+
+class TestSchemeSelection:
+    def test_low_cardinality_picks_rle(self):
+        assert cmp.choose_scheme([1, 1, 1, 2, 2, 2]) == cmp.SCHEME_RLE
+
+    def test_high_cardinality_picks_delta(self):
+        assert cmp.choose_scheme(list(range(100))) == cmp.SCHEME_DELTA
+
+    def test_empty_column(self):
+        assert cmp.choose_scheme([]) == cmp.SCHEME_RLE
+
+    @given(sorted_columns)
+    def test_compress_roundtrip_property(self, values):
+        scheme, data = cmp.compress_column(values)
+        assert list(cmp.decompress_column(scheme, data)) == values
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError):
+            cmp.decompress_column("nope", b"")
+
+    def test_numpy_input_accepted(self):
+        values = np.asarray([1, 2, 2, 3], dtype=np.int64)
+        scheme, data = cmp.compress_column(values)
+        assert list(cmp.decompress_column(scheme, data)) == [1, 2, 2, 3]

@@ -1,0 +1,140 @@
+"""Cross-validation: every algorithm against the oracle on both corpora.
+
+This is the heart of the correctness argument: the stack-based,
+index-based, and join-based algorithms must produce *identical* result
+sets and scores under both semantics, and every top-K algorithm must
+return exactly the K best-scored of those results.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.base import sort_by_score
+from repro.algorithms.oracle import SemanticsOracle
+from repro.datagen.workload import random_terms_in_range
+
+COMPLETE_ALGORITHMS = ("join", "stack", "index")
+TOPK_ALGORITHMS = ("topk-join", "rdil", "hybrid")
+
+PLANTED_QUERIES = [
+    ("alpha", "beta"),
+    ("alpha", "beta", "gamma"),
+    ("cx", "cy"),
+    ("c3a", "c3b", "c3c"),
+    ("rare", "gamma"),
+    ("alpha",),
+]
+
+
+def random_queries(db, n, seed):
+    terms = random_terms_in_range(db.inverted_index, 4, 500, 14, seed=seed)
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(n):
+        k = rng.randint(2, min(4, len(terms)))
+        queries.append(tuple(rng.sample(terms, k)))
+    return queries
+
+
+def result_key(results):
+    return [(r.node.dewey, round(r.score, 9)) for r in results]
+
+
+class TestCompleteAlgorithmsAgree:
+    @pytest.mark.parametrize("semantics", ["elca", "slca"])
+    @pytest.mark.parametrize("terms", PLANTED_QUERIES)
+    def test_planted_queries(self, corpus_db, semantics, terms):
+        oracle = SemanticsOracle(corpus_db.tree, corpus_db.inverted_index)
+        expected = result_key(oracle.evaluate(list(terms), semantics))
+        for algorithm in COMPLETE_ALGORITHMS:
+            got = result_key(corpus_db.search(list(terms),
+                                              semantics=semantics,
+                                              algorithm=algorithm))
+            assert got == expected, algorithm
+
+    @pytest.mark.parametrize("semantics", ["elca", "slca"])
+    def test_random_vocabulary_queries(self, corpus_db, semantics):
+        oracle = SemanticsOracle(corpus_db.tree, corpus_db.inverted_index)
+        for terms in random_queries(corpus_db, 6, seed=42):
+            expected = result_key(oracle.evaluate(list(terms), semantics))
+            for algorithm in COMPLETE_ALGORITHMS:
+                got = result_key(corpus_db.search(list(terms),
+                                                  semantics=semantics,
+                                                  algorithm=algorithm))
+                assert got == expected, (algorithm, terms)
+
+
+class TestTopKAlgorithmsAgree:
+    @pytest.mark.parametrize("semantics", ["elca", "slca"])
+    @pytest.mark.parametrize("terms", PLANTED_QUERIES)
+    def test_planted_queries(self, corpus_db, semantics, terms):
+        oracle = SemanticsOracle(corpus_db.tree, corpus_db.inverted_index)
+        full = sort_by_score(oracle.evaluate(list(terms), semantics))
+        for k in (1, 5):
+            expected = [round(r.score, 9) for r in full[:k]]
+            for algorithm in TOPK_ALGORITHMS:
+                got = corpus_db.search_topk(list(terms), k,
+                                            semantics=semantics,
+                                            algorithm=algorithm)
+                assert [round(r.score, 9) for r in got] == expected, \
+                    (algorithm, terms, k)
+
+    @pytest.mark.parametrize("semantics", ["elca", "slca"])
+    def test_random_vocabulary_queries(self, corpus_db, semantics):
+        oracle = SemanticsOracle(corpus_db.tree, corpus_db.inverted_index)
+        for terms in random_queries(corpus_db, 4, seed=99):
+            full = sort_by_score(oracle.evaluate(list(terms), semantics))
+            expected = [round(r.score, 9) for r in full[:5]]
+            for algorithm in TOPK_ALGORITHMS:
+                got = corpus_db.search_topk(list(terms), 5,
+                                            semantics=semantics,
+                                            algorithm=algorithm)
+                assert [round(r.score, 9) for r in got] == expected, \
+                    (algorithm, terms)
+
+
+class TestSemanticInvariants:
+    """Structural invariants that must hold on any corpus."""
+
+    @pytest.mark.parametrize("terms", PLANTED_QUERIES)
+    def test_slca_subset_of_elca(self, corpus_db, terms):
+        elca = {r.node.dewey for r in corpus_db.search(list(terms),
+                                                       semantics="elca")}
+        slca = {r.node.dewey for r in corpus_db.search(list(terms),
+                                                       semantics="slca")}
+        assert slca <= elca
+
+    @pytest.mark.parametrize("terms", PLANTED_QUERIES)
+    def test_slca_antichain(self, corpus_db, terms):
+        slca = [r.node.dewey for r in corpus_db.search(list(terms),
+                                                       semantics="slca")]
+        for i, d1 in enumerate(slca):
+            nxt = slca[i + 1] if i + 1 < len(slca) else None
+            if nxt is not None:
+                assert nxt[:len(d1)] != d1  # sorted: ancestor would abut
+
+    @pytest.mark.parametrize("terms", PLANTED_QUERIES)
+    def test_every_result_contains_all_keywords(self, corpus_db, terms):
+        tok = corpus_db.tokenizer
+        for r in corpus_db.search(list(terms), semantics="elca"):
+            text = r.node.subtree_text().lower()
+            found = set(tok.tokens(text))
+            assert set(terms) <= found
+
+    def test_adding_keywords_never_lowers_result_levels(self, corpus_db):
+        """More keywords -> results can only move up or vanish."""
+        two = corpus_db.search(["alpha", "beta"], semantics="slca")
+        three = corpus_db.search(["alpha", "beta", "gamma"],
+                                 semantics="slca")
+        if two and three:
+            min2 = min(r.level for r in two)
+            assert all(r.level <= max(x.level for x in two) + 99
+                       for r in three)  # sanity: defined levels
+            # Each 3-keyword SLCA contains some {alpha, beta} witness
+            # pair, so it is an ancestor-or-self of a 2-keyword LCA.
+            two_deweys = [r.node.dewey for r in two]
+            for r in three:
+                d = r.node.dewey
+                assert any(t[:len(d)] == d or d[:len(t)] == t
+                           for t in two_deweys)

@@ -1,0 +1,149 @@
+"""Tests for directory persistence (`repro.diskdb`)."""
+
+import json
+import os
+
+import pytest
+
+from repro import XMLDatabase
+from repro.diskdb import (DatabaseFormatError, load_database,
+                          save_database)
+from repro.scoring.ranking import DampingFunction, RankingModel
+
+
+@pytest.fixture
+def saved(tmp_path, small_db):
+    path = str(tmp_path / "db")
+    small_db.save(path)
+    return path, small_db
+
+
+class TestRoundtrip:
+    def test_files_written(self, saved):
+        path, _ = saved
+        for name in ("document.xml", "meta.json", "columnar.bin",
+                     "dewey.bin"):
+            assert os.path.exists(os.path.join(path, name))
+
+    def test_search_results_identical(self, saved):
+        path, original = saved
+        loaded = XMLDatabase.open(path)
+        for semantics in ("elca", "slca"):
+            for algorithm in ("join", "stack", "index"):
+                a = original.search("xml data", semantics=semantics,
+                                    algorithm=algorithm)
+                b = loaded.search("xml data", semantics=semantics,
+                                  algorithm=algorithm)
+                assert [(r.node.dewey, round(r.score, 12)) for r in a] == \
+                    [(r.node.dewey, round(r.score, 12)) for r in b]
+
+    def test_topk_identical(self, saved):
+        path, original = saved
+        loaded = load_database(path)
+        for algorithm in ("topk-join", "rdil", "hybrid"):
+            a = original.search_topk("xml data", 3, algorithm=algorithm)
+            b = loaded.search_topk("xml data", 3, algorithm=algorithm)
+            assert [round(r.score, 12) for r in a] == \
+                [round(r.score, 12) for r in b]
+
+    def test_no_retokenization_on_open(self, saved, monkeypatch):
+        path, _ = saved
+        from repro.index.tokenizer import Tokenizer
+
+        def boom(self, text):
+            raise AssertionError("tokenizer ran during load")
+
+        monkeypatch.setattr(Tokenizer, "term_frequencies", boom)
+        loaded = load_database(path)
+        assert loaded.document_frequency("xml") > 0
+
+    def test_document_frequency_preserved(self, saved):
+        path, original = saved
+        loaded = load_database(path)
+        for term in ("xml", "data", "keyword"):
+            assert loaded.document_frequency(term) == \
+                original.document_frequency(term)
+
+    def test_metadata_contents(self, saved):
+        path, original = saved
+        with open(os.path.join(path, "meta.json")) as f:
+            meta = json.load(f)
+        assert meta["format_version"] == 1
+        assert meta["n_nodes"] == len(original.tree)
+        assert meta["damping_base"] == pytest.approx(0.9)
+
+    def test_custom_damping_restored(self, tmp_path):
+        db = XMLDatabase.from_xml_text(
+            "<a><b>xml data</b><c>xml</c></a>",
+            ranking=RankingModel(damping=DampingFunction(0.5)))
+        path = str(tmp_path / "db")
+        db.save(path)
+        loaded = load_database(path)
+        assert loaded.ranking.damping.base == pytest.approx(0.5)
+
+    def test_explicit_ranking_wins(self, saved):
+        path, _ = saved
+        custom = RankingModel(damping=DampingFunction(0.5))
+        loaded = load_database(path, ranking=custom)
+        assert loaded.ranking is custom
+
+    def test_generated_corpus_roundtrip(self, tmp_path, dblp_db):
+        path = str(tmp_path / "dblp")
+        save_database(dblp_db, path)
+        loaded = load_database(path)
+        a = dblp_db.search(["alpha", "beta"])
+        b = loaded.search(["alpha", "beta"])
+        assert [(r.node.dewey, round(r.score, 12)) for r in a] == \
+            [(r.node.dewey, round(r.score, 12)) for r in b]
+
+    def test_save_overwrites(self, saved):
+        path, original = saved
+        original.save(path)  # no error, still loadable
+        assert load_database(path).document_frequency("xml") > 0
+
+
+class TestFailureModes:
+    def test_missing_meta(self, tmp_path):
+        with pytest.raises(DatabaseFormatError):
+            load_database(str(tmp_path))
+
+    def test_version_mismatch(self, saved):
+        path, _ = saved
+        meta_path = os.path.join(path, "meta.json")
+        with open(meta_path) as f:
+            meta = json.load(f)
+        meta["format_version"] = 99
+        with open(meta_path, "w") as f:
+            json.dump(meta, f)
+        with pytest.raises(DatabaseFormatError):
+            load_database(path)
+
+    def test_edited_document_detected(self, saved):
+        path, _ = saved
+        doc_path = os.path.join(path, "document.xml")
+        with open(doc_path) as f:
+            text = f.read()
+        # Remove an element: node counts diverge from the metadata.
+        text = text.replace("<title>XML basics</title>", "")
+        with open(doc_path, "w") as f:
+            f.write(text)
+        with pytest.raises(DatabaseFormatError):
+            load_database(path)
+
+    def test_truncated_columnar_blob(self, saved):
+        path, _ = saved
+        blob_path = os.path.join(path, "columnar.bin")
+        with open(blob_path, "rb") as f:
+            blob = f.read()
+        with open(blob_path, "wb") as f:
+            f.write(blob[: len(blob) // 2])
+        with pytest.raises(Exception):
+            load_database(path)
+
+    def test_corrupt_magic(self, saved):
+        path, _ = saved
+        blob_path = os.path.join(path, "dewey.bin")
+        with open(blob_path, "r+b") as f:
+            f.write(b"XXXX")
+        with pytest.raises(ValueError):
+            load_database(path)

@@ -1,0 +1,140 @@
+"""Tests for erasure bookkeeping (`repro.algorithms.erasure`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.erasure import (BitmapEraser, IntervalEraser,
+                                      make_eraser)
+
+
+@pytest.fixture(params=["bitmap", "interval"])
+def eraser(request):
+    return make_eraser(request.param, 100)
+
+
+class TestCommonBehaviour:
+    def test_initially_clean(self, eraser):
+        assert eraser.total_erased == 0
+        assert eraser.erased_count(0, 100) == 0
+        assert not eraser.is_erased(50)
+
+    def test_mark_and_count(self, eraser):
+        eraser.mark(10, 20)
+        assert eraser.total_erased == 10
+        assert eraser.erased_count(0, 100) == 10
+        assert eraser.erased_count(12, 15) == 3
+        assert eraser.erased_count(20, 30) == 0
+
+    def test_is_erased_boundaries(self, eraser):
+        eraser.mark(10, 20)
+        assert eraser.is_erased(10)
+        assert eraser.is_erased(19)
+        assert not eraser.is_erased(9)
+        assert not eraser.is_erased(20)
+
+    def test_empty_mark_noop(self, eraser):
+        eraser.mark(5, 5)
+        assert eraser.total_erased == 0
+
+    def test_out_of_range_raises(self, eraser):
+        with pytest.raises(ValueError):
+            eraser.mark(-1, 5)
+        with pytest.raises(ValueError):
+            eraser.mark(90, 120)
+
+    def test_free_mask(self, eraser):
+        eraser.mark(3, 6)
+        ordinals = np.asarray([2, 3, 4, 6, 7])
+        assert list(eraser.free_mask(ordinals)) == [True, False, False,
+                                                    True, True]
+
+    def test_disjoint_marks_accumulate(self, eraser):
+        eraser.mark(0, 5)
+        eraser.mark(10, 15)
+        assert eraser.total_erased == 10
+        assert eraser.erased_count(0, 20) == 10
+
+    def test_containing_mark_swallows(self, eraser):
+        # The contained-or-disjoint geometry: deep ranges first, then an
+        # enclosing range at a higher level.
+        eraser.mark(10, 12)
+        eraser.mark(14, 16)
+        eraser.mark(8, 20)
+        assert eraser.total_erased == 12
+        assert eraser.erased_count(8, 20) == 12
+
+
+class TestIntervalSpecific:
+    def test_partial_overlap_rejected(self):
+        eraser = IntervalEraser(100)
+        eraser.mark(10, 20)
+        with pytest.raises(ValueError):
+            eraser.mark(15, 25)
+
+    def test_intervals_view(self):
+        eraser = IntervalEraser(100)
+        eraser.mark(30, 40)
+        eraser.mark(10, 20)
+        assert eraser.intervals == [(10, 20), (30, 40)]
+
+    def test_swallow_merges_intervals(self):
+        eraser = IntervalEraser(100)
+        eraser.mark(10, 12)
+        eraser.mark(20, 22)
+        eraser.mark(5, 50)
+        assert eraser.intervals == [(5, 50)]
+
+    def test_binary_search_count(self):
+        eraser = IntervalEraser(1000)
+        for i in range(0, 1000, 100):
+            eraser.mark(i, i + 10)
+        assert eraser.erased_count(0, 1000) == 100
+        # (100,110) fully inside, (200,210) clipped to 5 overlapping rows.
+        assert eraser.erased_count(95, 205) == 15
+
+
+class TestFactory:
+    def test_modes(self):
+        assert isinstance(make_eraser("bitmap", 10), BitmapEraser)
+        assert isinstance(make_eraser("interval", 10), IntervalEraser)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            make_eraser("nope", 10)
+
+
+# Contained-or-disjoint interval batches: draw disjoint level-0 ranges,
+# then enclose random consecutive groups -- mirrors the join geometry.
+@st.composite
+def nested_marks(draw):
+    size = draw(st.integers(40, 200))
+    n = draw(st.integers(0, min(8, size // 6)))
+    points = sorted(draw(st.lists(st.integers(0, size), min_size=2 * n,
+                                  max_size=2 * n, unique=True)))
+    base = [(points[2 * i], points[2 * i + 1]) for i in range(n)]
+    marks = list(base)
+    if n >= 2 and draw(st.booleans()):
+        i = draw(st.integers(0, n - 2))
+        j = draw(st.integers(i + 1, n - 1))
+        marks.append((base[i][0], base[j][1]))
+    return size, marks
+
+
+class TestEquivalence:
+    @given(nested_marks())
+    def test_bitmap_and_interval_agree(self, case):
+        size, marks = case
+        bitmap = BitmapEraser(size)
+        interval = IntervalEraser(size)
+        for lo, hi in marks:
+            bitmap.mark(lo, hi)
+            interval.mark(lo, hi)
+        assert bitmap.total_erased == interval.total_erased
+        for lo in range(0, size, max(1, size // 7)):
+            for hi in range(lo, size, max(1, size // 7)):
+                assert bitmap.erased_count(lo, hi) == \
+                    interval.erased_count(lo, hi)
+        for i in range(size):
+            assert bitmap.is_erased(i) == interval.is_erased(i)

@@ -1,0 +1,36 @@
+"""Smoke tests: the example scripts stay runnable.
+
+Fast examples execute end to end; the corpus-heavy demo is
+compile-checked only (it runs in the benchmark environment).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST = ["quickstart.py", "custom_ranking.py", "index_maintenance.py"]
+SLOW = ["xmark_semantics.py", "dblp_topk.py"]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_fast_example_runs(script):
+    proc = subprocess.run([sys.executable, str(EXAMPLES / script)],
+                          capture_output=True, text=True, timeout=180)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()
+
+
+@pytest.mark.parametrize("script", FAST + SLOW)
+def test_example_compiles(script):
+    py_compile.compile(str(EXAMPLES / script), doraise=True)
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert set(FAST + SLOW) <= present
+    assert "quickstart.py" in present

@@ -1,0 +1,239 @@
+"""Tests for the JDewey encoding (`repro.xmltree.jdewey`)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree.jdewey import (JDeweyEncoder, check_componentwise,
+                                  encode_tree, jdewey_sort_key,
+                                  lca_from_sequences)
+from repro.xmltree.tree import Node, XMLTree, build_tree
+
+
+def random_tree_strategy(max_children=4, max_depth=4):
+    """Hypothesis strategy producing frozen XMLTrees."""
+    spec = st.recursive(
+        st.just(()),
+        lambda children: st.lists(children, min_size=0,
+                                  max_size=max_children),
+        max_leaves=24,
+    )
+
+    def to_tree(s):
+        def build(node_spec):
+            node = Node("n")
+            for child_spec in node_spec:
+                node.add_child(build(child_spec))
+            return node
+
+        return XMLTree(build(s if isinstance(s, list) else [])).freeze()
+
+    return spec.map(to_tree)
+
+
+@pytest.fixture
+def sample_tree():
+    return build_tree(
+        ("r", [
+            ("a", [("a1", []), ("a2", [("a2x", [])])]),
+            ("b", [("b1", [])]),
+            ("c", []),
+        ]))
+
+
+class TestInitialEncoding:
+    def test_root_sequence(self, sample_tree):
+        encode_tree(sample_tree)
+        assert sample_tree.root.jdewey == (1,)
+
+    def test_sequences_extend_parent(self, sample_tree):
+        encode_tree(sample_tree)
+        for node in sample_tree.nodes:
+            if node.parent is not None:
+                assert node.jdewey[:-1] == node.parent.jdewey
+
+    def test_unique_per_level(self, sample_tree):
+        encoder = encode_tree(sample_tree)
+        encoder.validate()  # raises on duplicates
+
+    def test_document_order_matches_jdewey_order_initially(self, sample_tree):
+        encode_tree(sample_tree)
+        seqs = [n.jdewey for n in sample_tree.nodes]
+        assert seqs == sorted(seqs, key=jdewey_sort_key)
+
+    def test_gap_reserves_numbers(self):
+        tree = build_tree(("r", [("a", [("x", [])]), ("b", [("y", [])])]))
+        dense = encode_tree(tree)
+        tree2 = build_tree(("r", [("a", [("x", [])]), ("b", [("y", [])])]))
+        gapped = JDeweyEncoder(tree2, gap=3)
+        assert gapped.level_width(3) > dense.level_width(3)
+
+    def test_level_width_zero_beyond_depth(self, sample_tree):
+        encoder = encode_tree(sample_tree)
+        assert encoder.level_width(99) == 0
+
+    def test_requires_frozen_tree(self):
+        with pytest.raises(ValueError):
+            JDeweyEncoder(XMLTree(Node("r")))
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_tree_strategy())
+    def test_invariants_hold_on_random_trees(self, tree):
+        encoder = encode_tree(tree)
+        encoder.validate()
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_tree_strategy())
+    def test_property_31_componentwise_order(self, tree):
+        """Paper Property 3.1: ordered sequences compare component-wise."""
+        encode_tree(tree)
+        seqs = sorted((n.jdewey for n in tree.nodes), key=jdewey_sort_key)
+        for s1, s2 in zip(seqs, seqs[1:]):
+            assert check_componentwise(s1, s2)
+
+
+class TestLCAFromSequences:
+    def test_simple(self, sample_tree):
+        encode_tree(sample_tree)
+        a2x = sample_tree.node_by_dewey((1, 1, 2, 1))
+        a1 = sample_tree.node_by_dewey((1, 1, 1))
+        level, number = lca_from_sequences(a2x.jdewey, a1.jdewey)
+        a = sample_tree.node_by_dewey((1, 1))
+        assert (level, number) == (a.level, a.jdewey[-1])
+
+    def test_ancestor_descendant(self, sample_tree):
+        encode_tree(sample_tree)
+        a = sample_tree.node_by_dewey((1, 1))
+        a2x = sample_tree.node_by_dewey((1, 1, 2, 1))
+        level, number = lca_from_sequences(a.jdewey, a2x.jdewey)
+        assert (level, number) == (a.level, a.jdewey[-1])
+
+    def test_no_common_component(self):
+        assert lca_from_sequences((1, 2), (2, 5)) is None
+
+    def test_matches_dewey_lca_on_random_pairs(self, sample_tree):
+        from repro.xmltree.dewey import lca as dewey_lca
+
+        encode_tree(sample_tree)
+        nodes = sample_tree.nodes
+        for v1 in nodes:
+            for v2 in nodes:
+                level, number = lca_from_sequences(v1.jdewey, v2.jdewey)
+                expected = sample_tree.node_by_dewey(
+                    dewey_lca(v1.dewey, v2.dewey))
+                assert (level, number) == (expected.level,
+                                           expected.jdewey[-1])
+
+
+class TestMaintenance:
+    def test_insert_with_gap_uses_reserved_slot(self, sample_tree):
+        encoder = JDeweyEncoder(sample_tree, gap=2)
+        a = sample_tree.node_by_dewey((1, 1))
+        new = encoder.insert(a, Node("a3"))
+        assert new.jdewey[:-1] == a.jdewey
+        encoder.validate()
+        assert encoder.reencode_count == 0
+
+    def test_insert_without_gap_triggers_reencode(self, sample_tree):
+        encoder = JDeweyEncoder(sample_tree, gap=0)
+        a = sample_tree.node_by_dewey((1, 1))
+        encoder.insert(a, Node("a3"))
+        encoder.validate()
+        assert encoder.reencode_count == 1
+
+    def test_insert_at_position(self, sample_tree):
+        encoder = JDeweyEncoder(sample_tree, gap=2)
+        a = sample_tree.node_by_dewey((1, 1))
+        new = encoder.insert(a, Node("first"), position=0)
+        assert a.children[0] is new
+        encoder.validate()
+
+    def test_insert_subtree(self, sample_tree):
+        encoder = JDeweyEncoder(sample_tree, gap=2)
+        sub = Node("sub")
+        sub.add_child(Node("leaf1"))
+        sub.add_child(Node("leaf2"))
+        c = sample_tree.node_by_dewey((1, 3))
+        encoder.insert(c, sub)
+        encoder.validate()
+        assert all(ch.jdewey[:-1] == sub.jdewey for ch in sub.children)
+
+    def test_insert_subtree_into_early_sibling(self, sample_tree):
+        """Regression: a subtree inserted under a *low-numbered* parent
+        must not hand its descendants end-of-level numbers while keeping
+        a mid-block number itself (order violation against later
+        parents' children)."""
+        encoder = JDeweyEncoder(sample_tree, gap=2)
+        sub = Node("sub")
+        sub.add_child(Node("leaf"))
+        a = sample_tree.node_by_dewey((1, 1))  # first child of the root
+        encoder.insert(a, sub)
+        encoder.validate()
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_tree_strategy(), st.data())
+    def test_random_subtree_insertions_keep_invariants(self, tree, data):
+        encoder = JDeweyEncoder(tree, gap=1)
+        nodes = list(tree.root.iter_subtree())
+        for i in range(3):
+            target = data.draw(st.sampled_from(nodes))
+            sub = Node("sub")
+            sub.add_child(Node("leaf")).add_child(Node("deeper"))
+            encoder.insert(target, sub)
+            nodes.extend(sub.iter_subtree())
+            encoder.validate()
+
+    def test_many_inserts_stay_valid(self, sample_tree):
+        encoder = JDeweyEncoder(sample_tree, gap=1)
+        b = sample_tree.node_by_dewey((1, 2))
+        for i in range(10):
+            encoder.insert(b, Node(f"x{i}"))
+            encoder.validate()
+
+    def test_delete_leaf(self, sample_tree):
+        encoder = encode_tree(sample_tree)
+        a1 = sample_tree.node_by_dewey((1, 1, 1))
+        parent = a1.parent
+        encoder.delete(a1)
+        assert a1 not in parent.children
+        encoder.validate()
+
+    def test_delete_subtree(self, sample_tree):
+        encoder = encode_tree(sample_tree)
+        a = sample_tree.node_by_dewey((1, 1))
+        encoder.delete(a)
+        encoder.validate()
+        assert all(n.tag != "a2x" for n in sample_tree.root.iter_subtree())
+
+    def test_delete_root_raises(self, sample_tree):
+        encoder = encode_tree(sample_tree)
+        with pytest.raises(ValueError):
+            encoder.delete(sample_tree.root)
+
+    def test_insert_then_delete_roundtrip(self, sample_tree):
+        encoder = JDeweyEncoder(sample_tree, gap=2)
+        b = sample_tree.node_by_dewey((1, 2))
+        new = encoder.insert(b, Node("temp"))
+        encoder.delete(new)
+        encoder.validate()
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_tree_strategy(), st.data())
+    def test_random_insertions_keep_invariants(self, tree, data):
+        encoder = JDeweyEncoder(tree, gap=1)
+        nodes = list(tree.root.iter_subtree())
+        for _ in range(4):
+            target = data.draw(st.sampled_from(nodes))
+            new = encoder.insert(target, Node("new"))
+            nodes.append(new)
+            encoder.validate()
+
+
+class TestCheckComponentwise:
+    def test_violating_pair_detected(self):
+        # (1, 2, 9) < (1, 3, 5) as tuples, but the third component
+        # decreases -- such sequences cannot coexist in a valid encoding.
+        assert not check_componentwise((1, 2, 9), (1, 3, 5))
+
+    def test_prefix_pair_ok(self):
+        assert check_componentwise((1, 2), (1, 2, 3))

@@ -1,0 +1,145 @@
+"""Tests for the reference semantics oracle (`repro.algorithms.oracle`).
+
+These pin the ELCA/SLCA definitions on hand-built trees; every optimized
+algorithm is then validated against the oracle in the cross-validation
+suite.
+"""
+
+import pytest
+
+from repro import XMLDatabase
+from repro.algorithms.oracle import SemanticsOracle
+from tests.conftest import figure1_like_tree
+
+
+@pytest.fixture
+def fig1():
+    db = XMLDatabase.from_tree(figure1_like_tree())
+    oracle = SemanticsOracle(db.tree, db.inverted_index)
+    return db, oracle
+
+
+class TestELCASemantics:
+    def test_nested_elcas(self, fig1):
+        db, oracle = fig1
+        results = oracle.evaluate(["xml", "data"], "elca")
+        tags = [r.node.tag for r in results]
+        # "paper" nests both keywords; the root keeps free occurrences
+        # from branch b (xml) and c (data) after excluding paper's.
+        assert tags == ["root", "paper"]
+
+    def test_lca_but_not_elca(self, fig1):
+        db, oracle = fig1
+        results = oracle.evaluate(["xml", "data"], "elca")
+        # Node "a" is the LCA of (x="data survey", paper's xml), but all
+        # its xml occurrences sit under the C-node "paper": not an ELCA.
+        assert all(r.node.tag != "a" for r in results)
+
+    def test_single_keyword_elcas_are_direct_containers(self, fig1):
+        db, oracle = fig1
+        results = oracle.evaluate(["data"], "elca")
+        assert sorted(r.node.tag for r in results) == ["t2", "x", "z"]
+
+    def test_missing_keyword_gives_empty(self, fig1):
+        _, oracle = fig1
+        assert oracle.evaluate(["xml", "nothere"], "elca") == []
+
+    def test_empty_query(self, fig1):
+        _, oracle = fig1
+        assert oracle.evaluate([], "elca") == []
+
+    def test_results_in_document_order(self, fig1):
+        _, oracle = fig1
+        results = oracle.evaluate(["xml", "data"], "elca")
+        deweys = [r.node.dewey for r in results]
+        assert deweys == sorted(deweys)
+
+    def test_three_keywords(self, fig1):
+        _, oracle = fig1
+        # Only "a" covers survey (x), xml (paper) and data; the root's
+        # remaining occurrences after excluding "a" lack survey.
+        results = oracle.evaluate(["xml", "data", "survey"], "elca")
+        assert [r.node.tag for r in results] == ["a"]
+
+
+class TestSLCASemantics:
+    def test_slca_is_minimal(self, fig1):
+        _, oracle = fig1
+        results = oracle.evaluate(["xml", "data"], "slca")
+        assert [r.node.tag for r in results] == ["paper"]
+
+    def test_slca_subset_of_elca(self, fig1):
+        _, oracle = fig1
+        elca = {r.node.dewey for r in oracle.evaluate(["xml", "data"],
+                                                      "elca")}
+        slca = {r.node.dewey for r in oracle.evaluate(["xml", "data"],
+                                                      "slca")}
+        assert slca <= elca
+
+    def test_no_slca_is_ancestor_of_another(self, fig1):
+        _, oracle = fig1
+        results = oracle.evaluate(["xml", "data"], "slca")
+        deweys = [r.node.dewey for r in results]
+        for d1 in deweys:
+            for d2 in deweys:
+                if d1 != d2:
+                    assert d2[:len(d1)] != d1
+
+    def test_unknown_semantics_raises(self, fig1):
+        _, oracle = fig1
+        with pytest.raises(ValueError):
+            oracle.evaluate(["xml"], "vlca")
+
+
+class TestScoring:
+    def test_damping_prefers_compact_results(self, fig1):
+        _, oracle = fig1
+        results = oracle.evaluate(["xml", "data"], "elca")
+        by_tag = {r.node.tag: r for r in results}
+        # "paper" holds both keywords one hop away; the root is 2-3 hops
+        # from its free witnesses, so damping must rank it below.
+        assert by_tag["paper"].score > by_tag["root"].score
+
+    def test_witness_scores_per_keyword(self, fig1):
+        _, oracle = fig1
+        results = oracle.evaluate(["xml", "data"], "elca")
+        for r in results:
+            assert len(r.witness_scores) == 2
+            assert r.score == pytest.approx(sum(r.witness_scores))
+
+    def test_elca_score_excludes_blocked_witnesses(self, fig1):
+        db, oracle = fig1
+        root_result = next(r for r in oracle.evaluate(["xml", "data"],
+                                                      "elca")
+                           if r.node.tag == "root")
+        # The root's xml witness must be branch b's "y" (level 3), not
+        # paper's t1 (blocked).  y is 2 hops below the root.
+        y = db.tree.find_all(lambda n: n.tag == "y")[0]
+        plist = db.inverted_index.term_list("xml")
+        y_score = next(p.score for p in plist.postings if p.dewey == y.dewey)
+        assert root_result.witness_scores[0] == pytest.approx(
+            y_score * 0.9 ** 2)
+
+
+class TestAllLCAs:
+    def test_all_lcas_superset_of_elca(self, fig1):
+        _, oracle = fig1
+        lcas = oracle.all_lcas(["xml", "data"])
+        elcas = {r.node.dewey for r in oracle.evaluate(["xml", "data"],
+                                                       "elca")}
+        assert elcas <= lcas
+
+    def test_all_lcas_contains_non_elca_lca(self, fig1):
+        db, oracle = fig1
+        lcas = oracle.all_lcas(["xml", "data"])
+        a = db.tree.find_all(lambda n: n.tag == "a")[0]
+        assert a.dewey in lcas
+
+    def test_combination_limit(self, fig1):
+        _, oracle = fig1
+        with pytest.raises(ValueError):
+            oracle.all_lcas(["xml", "data"], limit=1)
+
+    def test_empty_when_keyword_missing(self, fig1):
+        _, oracle = fig1
+        assert oracle.all_lcas(["xml", "missing"]) == set()

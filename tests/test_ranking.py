@@ -1,0 +1,119 @@
+"""Tests for the ranking model (`repro.scoring.ranking`)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scoring.ranking import (ConstantScorer, DampingFunction,
+                                   RankingModel, SumCombiner, TfIdfScorer)
+
+
+class TestTfIdfScorer:
+    def test_positive_for_positive_tf(self):
+        assert TfIdfScorer().score(1, 10, 1000, 5) > 0
+
+    def test_zero_for_zero_tf(self):
+        assert TfIdfScorer().score(0, 10, 1000, 5) == 0.0
+
+    def test_monotone_in_tf(self):
+        s = TfIdfScorer()
+        assert s.score(3, 10, 1000, 5) > s.score(1, 10, 1000, 5)
+
+    def test_rarer_terms_score_higher(self):
+        s = TfIdfScorer()
+        assert s.score(1, 2, 1000, 5) > s.score(1, 500, 1000, 5)
+
+    def test_longer_nodes_score_lower(self):
+        s = TfIdfScorer()
+        assert s.score(1, 10, 1000, 4) > s.score(1, 10, 1000, 100)
+
+    @given(st.integers(1, 50), st.integers(1, 1000), st.integers(1, 200))
+    def test_always_finite_and_nonnegative(self, tf, df, ntok):
+        value = TfIdfScorer().score(tf, df, 1000, ntok)
+        assert value >= 0 and math.isfinite(value)
+
+
+class TestConstantScorer:
+    def test_constant(self):
+        assert ConstantScorer(2.5).score(3, 1, 10, 4) == 2.5
+
+    def test_zero_tf_scores_zero(self):
+        assert ConstantScorer(2.5).score(0, 1, 10, 4) == 0.0
+
+
+class TestDamping:
+    def test_paper_example_base(self):
+        d = DampingFunction(0.9)
+        assert d(0) == 1.0
+        assert d(1) == pytest.approx(0.9)
+        assert d(3) == pytest.approx(0.9 ** 3)
+
+    def test_base_one_disables_damping(self):
+        d = DampingFunction(1.0)
+        assert d(5) == 1.0
+
+    def test_decreasing(self):
+        d = DampingFunction(0.8)
+        values = [d(i) for i in range(6)]
+        assert values == sorted(values, reverse=True)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_invalid_base_raises(self, bad):
+        with pytest.raises(ValueError):
+            DampingFunction(bad)
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ValueError):
+            DampingFunction()(-1)
+
+
+class TestSumCombiner:
+    def test_combine(self):
+        assert SumCombiner().combine([0.5, 0.3, 0.2]) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(0, 10), min_size=1, max_size=5),
+           st.lists(st.floats(0, 1), max_size=5))
+    def test_monotonicity(self, scores, bumps):
+        """The paper's Monotonicity property for F = sum."""
+        c = SumCombiner()
+        bumped = [s + b for s, b in zip(scores, bumps + [0.0] * len(scores))]
+        assert c.combine(bumped) >= c.combine(scores)
+
+    def test_upper_bound_equals_combine(self):
+        c = SumCombiner()
+        assert c.upper_bound([1.0, 2.0]) == c.combine([1.0, 2.0])
+
+
+class TestRankingModel:
+    def test_damped_applies_vertical_distance(self):
+        model = RankingModel(damping=DampingFunction(0.9))
+        assert model.damped(1.0, occurrence_level=5, result_level=3) == \
+            pytest.approx(0.81)
+
+    def test_damped_same_level_identity(self):
+        model = RankingModel()
+        assert model.damped(0.7, 4, 4) == pytest.approx(0.7)
+
+    def test_damped_result_below_occurrence_raises(self):
+        with pytest.raises(ValueError):
+            RankingModel().damped(1.0, 3, 5)
+
+    def test_score_result_sums(self):
+        model = RankingModel()
+        assert model.score_result([0.73, 0.41]) == pytest.approx(1.14)
+
+    def test_paper_example_4_1(self):
+        """Example 4.1: result score 0.73 + 0.41 = 1.14 at level 3 with
+        d = 0.9 ** delta applied upstream."""
+        model = RankingModel(damping=DampingFunction(0.9))
+        xml_damped = model.damped(0.73, 3, 3)
+        data_damped = model.damped(0.41, 3, 3)
+        assert model.score_result([xml_damped, data_damped]) == \
+            pytest.approx(1.14)
+
+    def test_defaults(self):
+        model = RankingModel()
+        assert isinstance(model.scorer, TfIdfScorer)
+        assert model.damping.base == pytest.approx(0.9)

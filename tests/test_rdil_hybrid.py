@@ -1,0 +1,105 @@
+"""Tests for the RDIL baseline and the hybrid plan (sections II-C, V-D)."""
+
+import pytest
+
+from repro.algorithms.base import sort_by_score
+from repro.algorithms.hybrid import HybridTopKSearch
+from repro.algorithms.oracle import SemanticsOracle
+from repro.algorithms.rdil import RDILSearch
+
+
+def reference_topk(db, terms, k, semantics="elca"):
+    oracle = SemanticsOracle(db.tree, db.inverted_index)
+    return sort_by_score(oracle.evaluate(terms, semantics))[:k]
+
+
+class TestRDILCorrectness:
+    @pytest.mark.parametrize("semantics", ["elca", "slca"])
+    @pytest.mark.parametrize("terms", [
+        ["alpha", "beta"], ["cx", "cy"], ["alpha", "beta", "gamma"],
+        ["rare", "gamma"],
+    ])
+    def test_matches_reference(self, corpus_db, semantics, terms):
+        expected = reference_topk(corpus_db, terms, 10, semantics)
+        got = RDILSearch(corpus_db.inverted_index).search(terms, 10,
+                                                          semantics)
+        assert [round(r.score, 9) for r in got] == \
+            [round(r.score, 9) for r in expected]
+
+    def test_small_document(self, small_db):
+        expected = reference_topk(small_db, ["xml", "data"], 3)
+        got = RDILSearch(small_db.inverted_index).search(["xml", "data"], 3)
+        assert [round(r.score, 9) for r in got] == \
+            [round(r.score, 9) for r in expected]
+
+    def test_k_zero(self, small_db):
+        assert len(RDILSearch(small_db.inverted_index).search(["xml"],
+                                                              0)) == 0
+
+    def test_unknown_keyword(self, small_db):
+        got = RDILSearch(small_db.inverted_index).search(["xml", "zzz"], 5)
+        assert len(got) == 0
+
+    def test_invalid_semantics(self, small_db):
+        with pytest.raises(ValueError):
+            RDILSearch(small_db.inverted_index).search(["xml"], 5, "nope")
+
+
+class TestRDILCharacteristics:
+    def test_scan_bounded_by_shortest_list(self, corpus_db):
+        """RDIL stops once any list dries (paper section V-C)."""
+        inv = corpus_db.inverted_index
+        result = RDILSearch(inv).search(["rare", "gamma"], 1000)
+        k = 2
+        shortest = inv.document_frequency("rare")
+        assert result.stats.tuples_scanned <= k * shortest + k
+
+    def test_verification_lookups_counted(self, corpus_db):
+        result = RDILSearch(corpus_db.inverted_index).search(
+            ["alpha", "beta"], 5)
+        assert result.stats.lookups > 0
+        assert result.stats.candidates_checked > 0
+
+
+class TestHybridCorrectness:
+    @pytest.mark.parametrize("semantics", ["elca", "slca"])
+    @pytest.mark.parametrize("terms", [
+        ["alpha", "beta"], ["cx", "cy"], ["c3a", "c3b", "c3c"],
+        ["rare", "gamma"],
+    ])
+    def test_matches_reference(self, corpus_db, semantics, terms):
+        expected = reference_topk(corpus_db, terms, 10, semantics)
+        got = HybridTopKSearch(corpus_db.columnar_index).search(
+            terms, 10, semantics)
+        assert [round(r.score, 9) for r in got] == \
+            [round(r.score, 9) for r in expected]
+
+    def test_plan_trace_recorded(self, corpus_db):
+        engine = HybridTopKSearch(corpus_db.columnar_index)
+        engine.search(["alpha", "beta"], 5)
+        assert engine.plan_trace
+        assert set(engine.plan_trace) <= {"topk", "eager"}
+
+    def test_low_cardinality_prefers_eager(self, corpus_db):
+        """Scarce results -> the estimator should avoid the rank-join."""
+        engine = HybridTopKSearch(corpus_db.columnar_index,
+                                  switch_factor=4.0)
+        engine.search(["rare", "gamma"], 10)
+        assert "eager" in engine.plan_trace
+
+    def test_switch_factor_extremes(self, corpus_db):
+        always_eager = HybridTopKSearch(corpus_db.columnar_index,
+                                        switch_factor=float("inf"))
+        always_topk = HybridTopKSearch(corpus_db.columnar_index,
+                                       switch_factor=0.0)
+        expected = reference_topk(corpus_db, ["cx", "cy"], 5)
+        for engine in (always_eager, always_topk):
+            got = engine.search(["cx", "cy"], 5)
+            assert [round(r.score, 9) for r in got] == \
+                [round(r.score, 9) for r in expected]
+        assert set(always_eager.plan_trace) == {"eager"}
+        assert set(always_topk.plan_trace) == {"topk"}
+
+    def test_k_zero(self, small_db):
+        engine = HybridTopKSearch(small_db.columnar_index)
+        assert len(engine.search(["xml"], 0)) == 0

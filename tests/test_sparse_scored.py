@@ -1,0 +1,147 @@
+"""Tests for sparse column indices and score-ordered cursors."""
+
+import numpy as np
+import pytest
+
+from repro.index.columnar import ColumnarPostings
+from repro.index.scored import ScoredPostings
+from repro.index.sparse import SparseColumnIndex
+
+
+class TestSparseColumnIndex:
+    @pytest.fixture
+    def distinct(self):
+        return np.asarray(sorted({i * 3 for i in range(500)}), dtype=np.int64)
+
+    def test_lookup_hits(self, distinct):
+        sparse = SparseColumnIndex(distinct, granularity=16)
+        for value in (0, 3, 749 * 2 + 1 if False else 1497, 600):
+            pos = sparse.lookup(distinct, value)
+            if value % 3 == 0 and value <= int(distinct[-1]):
+                assert pos is not None and distinct[pos] == value
+            else:
+                assert pos is None
+
+    def test_lookup_misses(self, distinct):
+        sparse = SparseColumnIndex(distinct, granularity=16)
+        assert sparse.lookup(distinct, 4) is None
+        assert sparse.lookup(distinct, -1) is None
+        assert sparse.lookup(distinct, 10 ** 9) is None
+
+    def test_lookup_every_member(self, distinct):
+        sparse = SparseColumnIndex(distinct, granularity=7)
+        for i, value in enumerate(distinct):
+            assert sparse.lookup(distinct, int(value)) == i
+
+    def test_probe_block_bounds(self, distinct):
+        sparse = SparseColumnIndex(distinct, granularity=16)
+        lo, hi = sparse.probe_block(int(distinct[40]))
+        assert lo <= 40 < hi
+        assert hi - lo <= 16
+
+    def test_empty_column(self):
+        empty = np.empty(0, dtype=np.int64)
+        sparse = SparseColumnIndex(empty)
+        assert sparse.lookup(empty, 5) is None
+
+    def test_size_grows_with_column(self):
+        small = SparseColumnIndex(np.arange(100, dtype=np.int64), 8)
+        large = SparseColumnIndex(np.arange(10_000, dtype=np.int64), 8)
+        assert large.size_bytes() > small.size_bytes()
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            SparseColumnIndex(np.arange(5, dtype=np.int64), 0)
+
+
+@pytest.fixture
+def scored():
+    # Sequences of mixed lengths with hand-picked scores (paper Fig. 7).
+    seqs = [(1, 2, 5), (1, 2, 6), (1, 3), (1, 4, 7, 9), (1, 4, 8, 10)]
+    raw = [0.5, 0.9, 0.7, 0.8, 0.3]
+    postings = ColumnarPostings("t", seqs, raw)
+    return ScoredPostings(postings, damping_base=0.9)
+
+
+class TestScoredPostings:
+    def test_groups_by_length(self, scored):
+        assert set(scored.groups) == {2, 3, 4}
+        assert len(scored.groups[3]) == 2
+
+    def test_group_scores_descending(self, scored):
+        for group in scored.groups.values():
+            scores = list(group.scores)
+            assert scores == sorted(scores, reverse=True)
+
+    def test_damp(self, scored):
+        assert scored.damp(1.0, length=4, level=2) == pytest.approx(0.81)
+
+    def test_max_damped_level1(self, scored):
+        # Level 1 candidates: 0.9*0.9^2, 0.7*0.9, 0.8*0.9^3 -> 0.729.
+        assert scored.max_damped(1) == pytest.approx(0.9 * 0.81)
+
+    def test_max_damped_level3(self, scored):
+        # Only length >= 3 groups: max(0.9, 0.8*0.9) = 0.9.
+        assert scored.max_damped(3) == pytest.approx(0.9)
+
+    def test_max_damped_beyond_depth(self, scored):
+        assert scored.max_damped(9) == 0.0
+
+    def test_invalid_damping_base(self, scored):
+        with pytest.raises(ValueError):
+            ScoredPostings(scored.postings, damping_base=0.0)
+
+
+class TestColumnCursor:
+    def test_emits_in_descending_damped_order(self, scored):
+        cursor = scored.cursor(2)
+        scores = []
+        while True:
+            item = cursor.pop()
+            if item is None:
+                break
+            scores.append(item[2])
+        assert scores == sorted(scores, reverse=True)
+        assert len(scores) == 5  # every sequence reaches level 2
+
+    def test_level_filters_short_sequences(self, scored):
+        cursor = scored.cursor(3)
+        numbers = []
+        while (item := cursor.pop()) is not None:
+            numbers.append(item[0])
+        assert len(numbers) == 4  # (1, 3) has no level-3 component
+
+    def test_peek_matches_pop(self, scored):
+        cursor = scored.cursor(2)
+        while (peeked := cursor.peek_score()) is not None:
+            number, ordinal, score = cursor.pop()
+            assert score == pytest.approx(peeked)
+
+    def test_skip_filters_ordinals(self, scored):
+        erased = {0, 1}
+        cursor = scored.cursor(2, skip=lambda o: o in erased)
+        ordinals = []
+        while (item := cursor.pop()) is not None:
+            ordinals.append(item[1])
+        assert set(ordinals).isdisjoint(erased)
+        assert len(ordinals) == 3
+
+    def test_exhausted(self, scored):
+        cursor = scored.cursor(2)
+        while cursor.pop() is not None:
+            pass
+        assert cursor.exhausted
+        assert cursor.peek_score() is None
+        assert cursor.pop() is None
+
+    def test_numbers_match_sequences(self, scored):
+        cursor = scored.cursor(2)
+        while (item := cursor.pop()) is not None:
+            number, ordinal, _score = item
+            assert scored.postings.seqs[ordinal][1] == number
+
+    def test_retrieved_counter(self, scored):
+        cursor = scored.cursor(4)
+        cursor.pop()
+        cursor.pop()
+        assert cursor.retrieved == 2

@@ -1,0 +1,77 @@
+"""Tests for the progressive (streaming) top-K API."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.base import ExecutionStats, sort_by_score
+from repro.algorithms.topk_keyword import TopKKeywordSearch
+
+
+class TestStreamCorrectness:
+    def test_full_stream_equals_ranked_complete_set(self, corpus_db):
+        for terms in (["alpha", "beta"], ["cx", "cy"], ["rare", "gamma"]):
+            streamed = list(corpus_db.search_stream(terms))
+            ranked = corpus_db.search_ranked(terms)
+            assert [round(r.score, 9) for r in streamed] == \
+                [round(r.score, 9) for r in ranked]
+
+    def test_stream_descends_by_score(self, corpus_db):
+        scores = [r.score for r in corpus_db.search_stream(["cx", "cy"])]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_islice_matches_search_topk(self, corpus_db):
+        for k in (1, 3, 7):
+            sliced = list(itertools.islice(
+                corpus_db.search_stream(["cx", "cy"]), k))
+            topk = corpus_db.search_topk(["cx", "cy"], k)
+            assert [round(r.score, 9) for r in sliced] == \
+                [round(r.score, 9) for r in topk]
+
+    @pytest.mark.parametrize("semantics", ["elca", "slca"])
+    def test_semantics_respected(self, small_db, semantics):
+        streamed = list(small_db.search_stream("xml data", semantics))
+        expected = sort_by_score(
+            small_db.search("xml data", semantics=semantics,
+                            algorithm="oracle"))
+        assert [round(r.score, 9) for r in streamed] == \
+            [round(r.score, 9) for r in expected]
+
+    def test_empty_query(self, small_db):
+        assert list(small_db.search_stream("")) == []
+
+    def test_unknown_keyword(self, small_db):
+        assert list(small_db.search_stream("xml zzz")) == []
+
+    def test_invalid_semantics(self, small_db):
+        with pytest.raises(ValueError):
+            list(small_db.search_stream("xml", semantics="nope"))
+
+
+class TestStreamLaziness:
+    def test_abandoning_saves_work(self, corpus_db):
+        """Consuming 2 of many results must scan fewer tuples than
+        draining the stream."""
+        engine = TopKKeywordSearch(corpus_db.columnar_index)
+        partial_stats = ExecutionStats()
+        gen = engine.stream(["cx", "cy"], stats=partial_stats)
+        next(gen)
+        next(gen)
+        gen.close()
+        full_stats = ExecutionStats()
+        list(engine.stream(["cx", "cy"], stats=full_stats))
+        assert partial_stats.tuples_scanned < full_stats.tuples_scanned
+
+    def test_no_work_before_first_next(self, corpus_db):
+        engine = TopKKeywordSearch(corpus_db.columnar_index)
+        stats = ExecutionStats()
+        engine.stream(["cx", "cy"], stats=stats)  # not consumed
+        assert stats.tuples_scanned == 0
+
+    def test_search_early_termination_flag_consistent(self, corpus_db):
+        # Plenty of results: stopping at 3 is early.
+        assert corpus_db.search_topk(["cx", "cy"], 3).terminated_early
+        # Asking for more than exist forces a full drain.
+        total = len(corpus_db.search(["cx", "cy"]))
+        assert not corpus_db.search_topk(["cx", "cy"],
+                                         total + 10).terminated_early

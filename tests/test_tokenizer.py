@@ -1,0 +1,64 @@
+"""Tests for text tokenization (`repro.index.tokenizer`)."""
+
+from repro.index.tokenizer import DEFAULT_STOPWORDS, Tokenizer
+
+
+class TestTokens:
+    def test_lowercases(self):
+        assert Tokenizer(stopwords=()).tokens("XML Data") == ["xml", "data"]
+
+    def test_splits_on_punctuation(self):
+        toks = Tokenizer(stopwords=()).tokens("top-k, join; (XML)!")
+        assert toks == ["top-k", "join", "xml"]
+
+    def test_keeps_internal_hyphen_and_apostrophe(self):
+        toks = Tokenizer(stopwords=()).tokens("fagin's top-k")
+        assert toks == ["fagin's", "top-k"]
+
+    def test_numbers_kept(self):
+        assert Tokenizer(stopwords=()).tokens("ICDE 2010") == ["icde", "2010"]
+
+    def test_stopwords_removed(self):
+        toks = Tokenizer().tokens("the quick search of the data")
+        assert "the" not in toks and "of" not in toks
+        assert toks == ["quick", "search", "data"]
+
+    def test_custom_stopwords(self):
+        toks = Tokenizer(stopwords={"data"}).tokens("the data model")
+        assert toks == ["the", "model"]
+
+    def test_min_length_filter(self):
+        toks = Tokenizer(stopwords=(), min_length=3).tokens("an xml db x")
+        assert toks == ["xml"]
+
+    def test_empty_text(self):
+        assert Tokenizer().tokens("") == []
+
+    def test_default_stopwords_frozen(self):
+        assert "the" in DEFAULT_STOPWORDS
+        assert isinstance(DEFAULT_STOPWORDS, frozenset)
+
+
+class TestTermFrequencies:
+    def test_counts(self):
+        tf = Tokenizer(stopwords=()).term_frequencies("xml data xml")
+        assert tf == {"xml": 2, "data": 1}
+
+    def test_empty(self):
+        assert Tokenizer().term_frequencies("") == {}
+
+    def test_stopwords_not_counted(self):
+        tf = Tokenizer().term_frequencies("the the the data")
+        assert tf == {"data": 1}
+
+
+class TestQueryTerms:
+    def test_distinct_in_order(self):
+        terms = Tokenizer().query_terms("XML data xml search")
+        assert terms == ["xml", "data", "search"]
+
+    def test_stopwords_kept_in_queries(self):
+        assert Tokenizer().query_terms("the") == ["the"]
+
+    def test_empty_query(self):
+        assert Tokenizer().query_terms("   ") == []

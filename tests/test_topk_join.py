@@ -1,0 +1,181 @@
+"""Tests for the top-K star join operator (`repro.algorithms.topk_join`).
+
+Includes a reconstruction of the paper's Figure 5 / section IV-B
+walkthrough: the group bound unblocks the second result earlier than the
+classic HRJN bound.
+"""
+
+import pytest
+
+from repro.algorithms.topk_join import (CLASSIC, GROUP, ListInput,
+                                        TopKStarJoin, topk_join)
+
+# Three relations in the spirit of Figure 5.  Scores descend; ids join
+# across all three.  Constructed so that after six retrievals the
+# snapshot matches the paper's narrative: id 2 completes with 2.5, id 1
+# with 2.2, the bucket holds id 3 seen in R1+R3 (1.0 + 0.6) and id 4
+# seen in R2 (0.8).
+R1 = [(2, 1.0), (3, 1.0), (1, 0.9), (4, 0.5)]
+R2 = [(2, 0.8), (1, 0.8), (4, 0.8), (3, 0.4)]
+R3 = [(2, 0.7), (3, 0.6), (1, 0.5), (4, 0.3)]
+
+
+class TestListInput:
+    def test_pop_and_peek(self):
+        inp = ListInput([(1, 0.9), (2, 0.5)])
+        assert inp.peek_score() == pytest.approx(0.9)
+        assert inp.pop() == (1, 0.9)
+        assert inp.peek_score() == pytest.approx(0.5)
+        inp.pop()
+        assert inp.peek_score() is None
+        assert inp.pop() is None
+
+    def test_unsorted_raises(self):
+        with pytest.raises(ValueError):
+            ListInput([(1, 0.5), (2, 0.9)])
+
+
+class TestStarJoinMechanics:
+    def test_completion_sums_scores(self):
+        join = TopKStarJoin([ListInput(r) for r in (R1, R2, R3)], 10)
+        while join.step():
+            pass
+        scores = {c.key: c.score for c in join.completed}
+        assert scores[2] == pytest.approx(2.5)
+        assert scores[1] == pytest.approx(2.2)
+        assert scores[3] == pytest.approx(2.0)
+        assert scores[4] == pytest.approx(1.6)
+
+    def test_first_seen_score_wins_duplicates(self):
+        # A duplicate id within one input keeps only its first (max) score.
+        r1 = [(1, 0.9), (1, 0.4)]
+        r2 = [(1, 0.8)]
+        join = TopKStarJoin([ListInput(r1), ListInput(r2)], 10)
+        while join.step():
+            pass
+        assert len(join.completed) == 1
+        assert join.completed[0].score == pytest.approx(1.7)
+
+    def test_id_cannot_complete_twice(self):
+        r1 = [(1, 0.9), (1, 0.8)]
+        r2 = [(1, 0.9), (1, 0.8)]
+        join = TopKStarJoin([ListInput(r1), ListInput(r2)], 10)
+        while join.step():
+            pass
+        assert len(join.completed) == 1
+
+    def test_per_input_scores_recorded(self):
+        join = TopKStarJoin([ListInput(r) for r in (R1, R2, R3)], 10)
+        while join.step():
+            pass
+        two = next(c for c in join.completed if c.key == 2)
+        assert two.scores == [1.0, 0.8, 0.7]
+
+    def test_round_robin_until_target(self):
+        join = TopKStarJoin([ListInput(R1), ListInput(R2), ListInput(R3)],
+                            target_k=10)
+        for _ in range(3):
+            join.step()
+        # One tuple from each input under round-robin.
+        assert join.tuples_retrieved == 3
+        assert all(inp._pos == 1 for inp in join.inputs)
+
+    def test_invalid_bound_mode(self):
+        with pytest.raises(ValueError):
+            TopKStarJoin([ListInput(R1)], 1, bound_mode="nope")
+
+    def test_no_inputs_raises(self):
+        with pytest.raises(ValueError):
+            TopKStarJoin([], 1)
+
+
+class TestBounds:
+    def _advance(self, bound_mode, steps):
+        join = TopKStarJoin([ListInput(r) for r in (R1, R2, R3)], 2,
+                            bound_mode=bound_mode)
+        for _ in range(steps):
+            join.step()
+        return join
+
+    def test_paper_snapshot_classic_bound(self):
+        """After three round-robin sweeps (nine tuples), the classic
+        bound is max_i(s^i + sum of other maxima): s = (0.5, 0.4, 0.3),
+        maxima (1.0, 0.8, 0.7) -> max(2.0, 2.1, 2.1) = 2.1."""
+        join = self._advance(CLASSIC, 9)
+        assert join.threshold() == pytest.approx(2.1)
+
+    def test_paper_snapshot_group_bound_tighter(self):
+        """The group bound sees the partials, as in the paper's Figure 5
+        walkthrough: G{1,3} = (3, 1.6) needs s^2, G{2} = (4, 0.8) needs
+        s^1 + s^3 -> max(1.6 + 0.4, 0.8 + 0.8, 1.2) = 2.0, strictly
+        tighter than the classic 2.1."""
+        join = self._advance(GROUP, 9)
+        assert join.threshold() == pytest.approx(2.0)
+
+    def test_group_bound_never_looser(self):
+        for steps in range(1, 12):
+            classic = self._advance(CLASSIC, steps)
+            group = self._advance(GROUP, steps)
+            assert group.threshold() <= classic.threshold() + 1e-12
+
+    def test_bounds_sound(self):
+        """Any result not yet completed scores below the threshold."""
+        for mode in (CLASSIC, GROUP):
+            join = TopKStarJoin([ListInput(r) for r in (R1, R2, R3)], 2,
+                                bound_mode=mode)
+            final = {2: 2.5, 1: 2.2, 3: 2.0, 4: 1.6}
+            while join.step():
+                bound = join.threshold()
+                done = {c.key for c in join.completed}
+                for key, score in final.items():
+                    if key not in done:
+                        assert score <= bound + 1e-9
+
+    def test_exhausted_threshold_is_minus_inf(self):
+        join = TopKStarJoin([ListInput(r) for r in (R1, R2, R3)], 10)
+        while join.step():
+            pass
+        assert join.threshold() == -float("inf")
+        assert join.exhausted
+
+    def test_dead_partials_dropped_when_input_dries(self):
+        r1 = [(1, 0.9)]
+        r2 = [(2, 0.8), (1, 0.7)]
+        join = TopKStarJoin([ListInput(r1), ListInput(r2)], 5,
+                            bound_mode=GROUP)
+        while join.step():
+            pass
+        # id 2 was seen only in r2 and r1 is exhausted: no valid bound
+        # remains for it.
+        assert join.threshold() == -float("inf")
+        assert {c.key for c in join.completed} == {1}
+
+
+class TestTopKJoinDriver:
+    def test_emits_in_score_order(self):
+        emitted, _ = topk_join([R1, R2, R3], k=4)
+        assert [c.key for c in emitted] == [2, 1, 3, 4]
+        scores = [c.score for c in emitted]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits_output(self):
+        emitted, _ = topk_join([R1, R2, R3], k=2)
+        assert [c.key for c in emitted] == [2, 1]
+
+    def test_group_bound_retrieves_no_more_than_classic(self):
+        _, group_cost = topk_join([R1, R2, R3], k=2, bound_mode=GROUP)
+        _, classic_cost = topk_join([R1, R2, R3], k=2, bound_mode=CLASSIC)
+        assert group_cost <= classic_cost
+
+    def test_early_termination_beats_full_scan(self):
+        # Large correlated relations: top-1 must not read everything.
+        n = 2000
+        big = [[(i, 1000.0 - i) for i in range(n)] for _ in range(2)]
+        emitted, cost = topk_join(big, k=1)
+        assert emitted[0].key == 0
+        assert cost < 2 * n / 10
+
+    def test_single_relation(self):
+        emitted, _ = topk_join([[(5, 0.9), (6, 0.4)]], k=1)
+        assert [c.key for c in emitted] == [5]
+        assert emitted[0].score == pytest.approx(0.9)
