@@ -1,0 +1,69 @@
+"""Microbenchmark: the vectorized level loop vs the scalar reference.
+
+Times the Figure 9 DBLP high-frequency keyword pair through both
+execution strategies of `JoinBasedSearch` and checks they agree exactly;
+the equivalence assertions are the safety net, the timings are the
+payload (printed, and emitted as ``BENCH_hotpath.json`` by
+``python -m repro.bench.baseline``).  Run in smoke mode with
+``REPRO_BENCH_SCALE=small``; no speed thresholds are asserted here --
+CI machines are too noisy -- the committed baseline carries those
+numbers.
+"""
+
+import json
+
+from repro.algorithms.join_based import JoinBasedSearch
+from repro.bench.baseline import SCHEMA, _fig9_high_pair, hotpath_report
+from repro.bench.harness import timed
+
+
+def test_vectorized_equals_scalar_on_hotpath(bench):
+    db = bench.dblp
+    queries = _fig9_high_pair(bench)
+    assert queries, "workload must plant the high-frequency pair"
+    scalar_engine = JoinBasedSearch(db.columnar_index, vectorized=False)
+    vector_engine = JoinBasedSearch(db.columnar_index, vectorized=True)
+    for semantics in ("elca", "slca"):
+        for terms in queries:
+            scalar, s_stats = scalar_engine.evaluate(terms, semantics)
+            vector, v_stats = vector_engine.evaluate(terms, semantics)
+            assert [(r.node.dewey, r.level, r.score, r.witness_scores)
+                    for r in scalar] == \
+                [(r.node.dewey, r.level, r.score, r.witness_scores)
+                 for r in vector]
+            assert s_stats.as_dict() == v_stats.as_dict()
+
+
+def test_level_loop_timings(bench):
+    db = bench.dblp
+    queries = _fig9_high_pair(bench)
+    specs = [s for s in bench.builder.frequency_sweep(2)
+             if s.low_frequency == max(bench.config.low_freqs)]
+    bench.warm(db, specs)
+    scalar_engine = JoinBasedSearch(db.columnar_index, vectorized=False)
+    vector_engine = JoinBasedSearch(db.columnar_index, vectorized=True)
+
+    def run(engine):
+        for terms in queries:
+            engine.evaluate(terms, "elca")
+
+    scalar_ms = timed(lambda: run(scalar_engine))
+    vector_ms = timed(lambda: run(vector_engine))
+    print(f"\nlevel loop: scalar {scalar_ms:.2f}ms, "
+          f"vectorized {vector_ms:.2f}ms, "
+          f"speedup {scalar_ms / vector_ms:.2f}x")
+    assert vector_ms > 0 and scalar_ms > 0
+
+
+def test_hotpath_report_schema(bench, tmp_path):
+    report = hotpath_report(bench, repeats=1, scale_label="smoke")
+    assert report["schema"] == SCHEMA
+    assert set(report["speedups"]) == {"level_loop", "erased_counts",
+                                       "mark_many", "result_cache"}
+    for entry in report["ops"].values():
+        assert entry["p50_ms"] > 0
+        assert entry["p95_ms"] >= entry["p50_ms"]
+    # The report round-trips through JSON (the emitter's output format).
+    path = tmp_path / "BENCH_hotpath.json"
+    path.write_text(json.dumps(report))
+    assert json.loads(path.read_text())["ops"]

@@ -20,6 +20,7 @@ Quickstart::
 from .api import ALGORITHMS, TOPK_ALGORITHMS, Query, XMLDatabase
 from .algorithms.base import (ELCA, SLCA, ExecutionStats, SearchResult,
                               TopKResult)
+from .cache import CacheStats, LRUCache, QueryCache
 from .xmltree import (Node, XMLTree, build_tree, parse_xml, parse_xml_file)
 
 __version__ = "1.0.0"
@@ -34,6 +35,9 @@ __all__ = [
     "ExecutionStats",
     "SearchResult",
     "TopKResult",
+    "CacheStats",
+    "LRUCache",
+    "QueryCache",
     "Node",
     "XMLTree",
     "build_tree",

@@ -90,6 +90,12 @@ class ExecutionStats:
     results_emitted: int = 0
     erasures: int = 0
     threshold_checks: int = 0
+    # Query-serving cache counters (repro.cache), filled in by
+    # `XMLDatabase` when a cache is wired in: result-cache hits skip
+    # level evaluation entirely, so `levels_processed` stays 0 for them.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
     per_level_plan: List[Tuple[int, str]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, float]:
@@ -104,6 +110,9 @@ class ExecutionStats:
             "results_emitted": self.results_emitted,
             "erasures": self.erasures,
             "threshold_checks": self.threshold_checks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
         }
 
 

@@ -17,6 +17,13 @@ Two interchangeable implementations:
   of disjoint intervals with O(log n) queries; marks exploit the
   contained-or-disjoint property to merge swallowed ranges.
 
+Both expose scalar (`mark`/`erased_count`) and bulk
+(`mark_many`/`erased_counts`) APIs; the bulk entry points back the
+vectorized level loop of `repro.algorithms.join_based`.  The bitmap
+answers bulk counts from a cached cumulative-sum prefix array (rebuilt
+lazily after marks change); the interval eraser answers them with a
+vectorized binary search over its interval endpoints.
+
 Both are property-tested for equivalence and benchmarked in the
 range-checking ablation.
 """
@@ -24,9 +31,20 @@ range-checking ablation.
 from __future__ import annotations
 
 import bisect
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
+
+
+def _check_bulk_ranges(lows: np.ndarray, highs: np.ndarray,
+                       size: int) -> None:
+    if len(lows) != len(highs):
+        raise ValueError("lows and highs must have equal length")
+    if len(lows) == 0:
+        return
+    if int(lows.min()) < 0 or int(highs.max()) > size \
+            or bool(np.any(lows > highs)):
+        raise ValueError(f"bulk ranges outside [0, {size})")
 
 
 class BitmapEraser:
@@ -35,15 +53,54 @@ class BitmapEraser:
     def __init__(self, size: int):
         self.size = size
         self._marks = np.zeros(size, dtype=bool)
+        self._prefix: Optional[np.ndarray] = None
 
     def mark(self, lo: int, hi: int) -> None:
         """Erase ordinals in [lo, hi)."""
         if not 0 <= lo <= hi <= self.size:
             raise ValueError(f"range [{lo}, {hi}) outside [0, {self.size})")
-        self._marks[lo:hi] = True
+        if hi > lo:
+            self._marks[lo:hi] = True
+            self._prefix = None
+
+    def mark_many(self, lows: np.ndarray, highs: np.ndarray) -> None:
+        """Erase every [lows[i], highs[i]) in one validated pass.
+
+        Sparse batches (few ranges relative to the bitmap) use direct
+        slice assignment; dense batches switch to a difference array --
+        +1 at each low, -1 at each high, cumulative sum marks every
+        covered ordinal -- which is O(size + n) regardless of how the
+        ranges overlap.
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        _check_bulk_ranges(lows, highs, self.size)
+        if len(lows) == 0:
+            return
+        if len(lows) * 32 < self.size:
+            marks = self._marks
+            for lo, hi in zip(lows.tolist(), highs.tolist()):
+                marks[lo:hi] = True
+        else:
+            diff = np.zeros(self.size + 1, dtype=np.int64)
+            np.add.at(diff, lows, 1)
+            np.add.at(diff, highs, -1)
+            self._marks |= np.cumsum(diff[:-1]) > 0
+        self._prefix = None
 
     def erased_count(self, lo: int, hi: int) -> int:
         return int(self._marks[lo:hi].sum())
+
+    def erased_counts(self, lows: np.ndarray, highs: np.ndarray
+                      ) -> np.ndarray:
+        """Erased ordinals within each [lows[i], highs[i]), in bulk."""
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        _check_bulk_ranges(lows, highs, self.size)
+        if self._prefix is None:
+            self._prefix = np.concatenate(
+                ([0], np.cumsum(self._marks, dtype=np.int64)))
+        return self._prefix[highs] - self._prefix[lows]
 
     def is_erased(self, ordinal: int) -> bool:
         return bool(self._marks[ordinal])
@@ -71,6 +128,8 @@ class IntervalEraser:
         self.size = size
         self._starts: List[int] = []
         self._ends: List[int] = []
+        self._arrays: Optional[Tuple[np.ndarray, np.ndarray,
+                                     np.ndarray]] = None
 
     def mark(self, lo: int, hi: int) -> None:
         if not 0 <= lo <= hi <= self.size:
@@ -87,6 +146,40 @@ class IntervalEraser:
                 "partial overlap violates the contained-or-disjoint property")
         self._starts[left:right] = [lo]
         self._ends[left:right] = [hi]
+        self._arrays = None
+
+    def mark_many(self, lows: np.ndarray, highs: np.ndarray) -> None:
+        """Erase every [lows[i], highs[i]).
+
+        Interval maintenance is inherently sequential (each mark may
+        swallow earlier intervals), so this is a validated loop over
+        `mark`; the bulk win for this eraser is on the query side.
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        _check_bulk_ranges(lows, highs, self.size)
+        for lo, hi in zip(lows, highs):
+            self.mark(int(lo), int(hi))
+
+    def _as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(starts, ends, prefix) views; prefix[i] is the total erased
+        length of intervals before i (cached until the next mark)."""
+        if self._arrays is None:
+            starts = np.asarray(self._starts, dtype=np.int64)
+            ends = np.asarray(self._ends, dtype=np.int64)
+            prefix = np.concatenate(
+                ([0], np.cumsum(ends - starts, dtype=np.int64)))
+            self._arrays = (starts, ends, prefix)
+        return self._arrays
+
+    def _coverage(self, points: np.ndarray) -> np.ndarray:
+        """Erased ordinals strictly below each point (vectorized)."""
+        starts, ends, prefix = self._as_arrays()
+        idx = np.searchsorted(starts, points, side="right") - 1
+        clamped = np.maximum(idx, 0)
+        inside = np.clip(points - starts[clamped], 0,
+                         ends[clamped] - starts[clamped])
+        return np.where(idx < 0, 0, prefix[clamped] + inside)
 
     def erased_count(self, lo: int, hi: int) -> int:
         """Erased ordinals within [lo, hi) via binary search."""
@@ -97,13 +190,33 @@ class IntervalEraser:
             i += 1
         return total
 
+    def erased_counts(self, lows: np.ndarray, highs: np.ndarray
+                      ) -> np.ndarray:
+        """Erased ordinals within each [lows[i], highs[i]), in bulk.
+
+        Computed as a difference of the cumulative coverage function,
+        each side one vectorized binary search over interval endpoints.
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        _check_bulk_ranges(lows, highs, self.size)
+        if not self._starts or len(lows) == 0:
+            return np.zeros(len(lows), dtype=np.int64)
+        return self._coverage(highs) - self._coverage(lows)
+
     def is_erased(self, ordinal: int) -> bool:
         i = bisect.bisect_right(self._starts, ordinal) - 1
         return i >= 0 and ordinal < self._ends[i]
 
     def free_mask(self, ordinals: np.ndarray) -> np.ndarray:
-        return np.fromiter((not self.is_erased(int(o)) for o in ordinals),
-                           dtype=bool, count=len(ordinals))
+        ordinals = np.asarray(ordinals, dtype=np.int64)
+        if not self._starts or len(ordinals) == 0:
+            return np.ones(len(ordinals), dtype=bool)
+        starts, ends, _prefix = self._as_arrays()
+        idx = np.searchsorted(starts, ordinals, side="right") - 1
+        clamped = np.maximum(idx, 0)
+        erased = (idx >= 0) & (ordinals < ends[clamped])
+        return ~erased
 
     @property
     def total_erased(self) -> int:

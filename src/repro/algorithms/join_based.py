@@ -23,6 +23,18 @@ matches the ELCA definition.  This module implements the range rule.
 
 Scores are computed on the fly: a result's score sums, per keyword, the
 best damped local score among its free witnesses (section II-B).
+
+Two execution strategies share the level loop:
+
+* the **vectorized** path (default) checks every joined number of a
+  level with NumPy bulk operations -- bulk run-bound slicing via
+  `Column.runs_of`, bulk erased counts / free masks from the erasure
+  structures, and an `np.maximum.reduceat` segment-max for witness
+  scores -- so per-level cost stays columnar, matching the paper's
+  bulk-relational design;
+* the **scalar** path (``vectorized=False``) applies the same test one
+  candidate at a time.  It is retained as the differential-testing and
+  benchmarking reference: both paths produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -52,14 +64,25 @@ class JoinBasedSearch:
     eraser_mode:
         ``bitmap`` (default) or ``interval`` -- the section III-E
         range-checking structure; both compute identical results.
+    vectorized:
+        ``True`` (default) checks each level's candidates with bulk
+        NumPy operations; ``False`` runs the per-candidate scalar
+        reference path.  Results are identical.
+    postings_cache:
+        Optional `repro.cache.QueryCache`; when given, per-term postings
+        lookups go through its LRU instead of straight to the index.
     """
 
     def __init__(self, index: ColumnarIndex,
                  planner: Optional[JoinPlanner] = None,
-                 eraser_mode: str = "bitmap"):
+                 eraser_mode: str = "bitmap",
+                 vectorized: bool = True,
+                 postings_cache=None):
         self.index = index
         self.planner = planner if planner is not None else JoinPlanner()
         self.eraser_mode = eraser_mode
+        self.vectorized = vectorized
+        self.postings_cache = postings_cache
         self.ranking: RankingModel = index.ranking
 
     def evaluate(self, terms: Sequence[str], semantics: str = ELCA,
@@ -76,7 +99,10 @@ class JoinBasedSearch:
         terms = list(terms)
         if not terms:
             return [], stats
-        postings = self.index.query_postings(terms)
+        if self.postings_cache is not None:
+            postings = self.postings_cache.query_postings(self.index, terms)
+        else:
+            postings = self.index.query_postings(terms)
         if any(len(p) == 0 for p in postings):
             return [], stats
         # Term order after shortest-first sorting; remember the mapping so
@@ -101,34 +127,107 @@ class JoinBasedSearch:
                     observer(level, columns, joined, 0)
                 continue
             # Run boundaries of every joined value in every column, in bulk.
-            run_bounds = []
-            for column in columns:
-                idx = np.searchsorted(column.distinct, joined)
-                run_bounds.append(
-                    (column.run_starts[idx], column.run_starts[idx + 1]))
-            emitted_at_level = 0
-            for j, number in enumerate(joined):
-                stats.candidates_checked += 1
-                emitted = self._check_candidate(
-                    int(number), level, j, postings, columns, run_bounds,
-                    erasers, semantics, with_scores, caller_slot,
-                    damping_base)
-                if emitted is not None:
-                    results.append(emitted)
-                    emitted_at_level += 1
-                    stats.results_emitted += 1
+            run_bounds = [column.runs_of(joined) for column in columns]
+            if self.vectorized:
+                emitted_at_level = self._check_level_vectorized(
+                    joined, level, postings, columns, run_bounds, erasers,
+                    semantics, with_scores, caller_slot, damping_base,
+                    stats, results)
+            else:
+                emitted_at_level = 0
+                for j, number in enumerate(joined):
+                    stats.candidates_checked += 1
+                    emitted = self._check_candidate(
+                        int(number), level, j, postings, columns, run_bounds,
+                        erasers, semantics, with_scores, caller_slot,
+                        damping_base)
+                    if emitted is not None:
+                        results.append(emitted)
+                        emitted_at_level += 1
+                        stats.results_emitted += 1
             if observer is not None:
                 observer(level, columns, joined, emitted_at_level)
             # Erase every joined range *after* the level is fully checked:
             # same-level candidates never interact (disjoint subtrees).
+            if self.vectorized:
+                for t, column in enumerate(columns):
+                    lows, highs = run_bounds[t]
+                    lo_ords, hi_ords = column.ordinal_spans(lows, highs)
+                    erasers[t].mark_many(lo_ords, hi_ords)
+                    stats.erasures += int((highs - lows).sum())
+            else:
+                for t, column in enumerate(columns):
+                    lows, highs = run_bounds[t]
+                    for j in range(len(joined)):
+                        a, b = int(lows[j]), int(highs[j])
+                        ordinals = column.seq_idx[a:b]
+                        erasers[t].mark(int(ordinals[0]),
+                                        int(ordinals[-1]) + 1)
+                        stats.erasures += b - a
+        return sort_by_document_order(results), stats
+
+    def _check_level_vectorized(self, joined: np.ndarray, level: int,
+                                postings: List[ColumnarPostings], columns,
+                                run_bounds, erasers, semantics: str,
+                                with_scores: bool, caller_slot: List[int],
+                                damping_base: float, stats: ExecutionStats,
+                                results: List[SearchResult]) -> int:
+        """Apply the ELCA/SLCA test to every joined number of a level.
+
+        Bit-identical to looping `_check_candidate`, but every step is a
+        bulk array operation: erased counts per run come from the
+        eraser's prefix/binary-search bulk API, free witnesses from a
+        bulk mask, and per-run best damped scores from a segment max
+        (`np.maximum.reduceat`) over the concatenated run ordinals.
+        """
+        n = len(joined)
+        stats.candidates_checked += n
+        alive = np.ones(n, dtype=bool)
+        for t, column in enumerate(columns):
+            lows, highs = run_bounds[t]
+            lo_ords, hi_ords = column.ordinal_spans(lows, highs)
+            erased = erasers[t].erased_counts(lo_ords, hi_ords)
+            if semantics == SLCA:
+                alive &= erased == 0
+            else:
+                alive &= erased < highs - lows
+        alive_idx = np.nonzero(alive)[0]
+        if len(alive_idx) == 0:
+            return 0
+        if with_scores:
+            witness = np.empty((len(columns), len(alive_idx)),
+                               dtype=np.float64)
             for t, column in enumerate(columns):
                 lows, highs = run_bounds[t]
-                for j in range(len(joined)):
-                    a, b = int(lows[j]), int(highs[j])
-                    ordinals = column.seq_idx[a:b]
-                    erasers[t].mark(int(ordinals[0]), int(ordinals[-1]) + 1)
-                    stats.erasures += b - a
-        return sort_by_document_order(results), stats
+                a_lows = lows[alive_idx]
+                counts = (highs - lows)[alive_idx]
+                offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                total = int(offsets[-1] + counts[-1])
+                # Concatenated positions of every surviving run: for run
+                # j the slots offsets[j]:offsets[j]+counts[j] hold
+                # a_lows[j] .. a_lows[j]+counts[j]-1.
+                flat = np.repeat(a_lows - offsets, counts) + np.arange(total)
+                ordinals = column.seq_idx[flat]
+                p = postings[t]
+                damped = (p.scores[ordinals]
+                          * damping_base ** (p.lengths[ordinals] - level))
+                free = erasers[t].free_mask(ordinals)
+                witness[t] = np.maximum.reduceat(
+                    np.where(free, damped, -np.inf), offsets)
+        emitted = 0
+        for out, j in enumerate(alive_idx):
+            node = self.index.node_at(level, int(joined[j]))
+            if with_scores:
+                ordered = tuple(float(witness[slot, out])
+                                for slot in caller_slot)
+                score = self.ranking.score_result(ordered)
+            else:
+                ordered = tuple(0.0 for _ in caller_slot)
+                score = 0.0
+            results.append(SearchResult(node, level, score, ordered))
+            emitted += 1
+        stats.results_emitted += emitted
+        return emitted
 
     def _check_candidate(self, number: int, level: int, j: int,
                          postings: List[ColumnarPostings], columns,

@@ -16,10 +16,11 @@ a single stack-based query does not pay for the columnar index.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from .algorithms.base import (ELCA, EmptyResultError, SearchResult,
-                              TopKResult, check_semantics, sort_by_score)
+from .algorithms.base import (ELCA, EmptyResultError, ExecutionStats,
+                              SearchResult, TopKResult, check_semantics,
+                              sort_by_score)
 from .algorithms.hybrid import HybridTopKSearch
 from .algorithms.index_based import IndexBasedSearch
 from .algorithms.join_based import JoinBasedSearch
@@ -27,6 +28,7 @@ from .algorithms.oracle import SemanticsOracle
 from .algorithms.rdil import RDILSearch
 from .algorithms.stack_based import StackBasedSearch
 from .algorithms.topk_keyword import TopKKeywordSearch
+from .cache import QueryCache, result_key
 from .index.columnar import ColumnarIndex
 from .index.inverted import InvertedIndex
 from .index.tokenizer import Tokenizer
@@ -41,7 +43,12 @@ TOPK_ALGORITHMS = ("topk-join", "rdil", "hybrid", "join")
 
 
 class Query:
-    """A parsed keyword query: distinct terms in first-appearance order."""
+    """A parsed keyword query: distinct terms in first-appearance order.
+
+    Both input shapes route through `Tokenizer.query_terms`, so a list
+    of terms normalizes exactly like the equivalent query string --
+    cache keys and postings lookups always agree on the term spelling.
+    """
 
     def __init__(self, text_or_terms: Union[str, Sequence[str]],
                  tokenizer: Optional[Tokenizer] = None):
@@ -49,10 +56,7 @@ class Query:
         if isinstance(text_or_terms, str):
             self.terms = tokenizer.query_terms(text_or_terms)
         else:
-            seen: Dict[str, None] = {}
-            for term in text_or_terms:
-                seen.setdefault(term.lower(), None)
-            self.terms = list(seen)
+            self.terms = tokenizer.query_terms(" ".join(text_or_terms))
 
     def __len__(self) -> int:
         return len(self.terms)
@@ -65,17 +69,30 @@ class Query:
 
 
 class XMLDatabase:
-    """An indexed XML document plus every search algorithm."""
+    """An indexed XML document plus every search algorithm.
+
+    A `repro.cache.QueryCache` is wired in by default: per-term postings
+    lookups and whole query results are LRU-cached (index structures are
+    read-only after build, so cached entries never go stale between
+    `refresh` calls).  Size the caches with ``postings_cache_size`` /
+    ``result_cache_size`` (0 disables storage) or pass a shared
+    `QueryCache` via ``cache``.
+    """
 
     def __init__(self, tree: XMLTree, tokenizer: Optional[Tokenizer] = None,
                  ranking: Optional[RankingModel] = None,
-                 jdewey_gap: int = 0):
+                 jdewey_gap: int = 0,
+                 cache: Optional[QueryCache] = None,
+                 postings_cache_size: int = 256,
+                 result_cache_size: int = 1024):
         if not tree.frozen:
             tree.freeze()
         self.tree = tree
         self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
         self.ranking = ranking if ranking is not None else RankingModel()
         self.encoder = JDeweyEncoder(tree, gap=jdewey_gap)
+        self.cache = cache if cache is not None else QueryCache(
+            postings_cache_size, result_cache_size)
         self._columnar: Optional[ColumnarIndex] = None
         self._inverted: Optional[InvertedIndex] = None
 
@@ -153,6 +170,7 @@ class XMLDatabase:
         self.tree.freeze()
         self._columnar = None
         self._inverted = None
+        self.cache.clear()
 
     # ------------------------------------------------------------------
     # search
@@ -161,7 +179,8 @@ class XMLDatabase:
     def search(self, query: Union[str, Sequence[str], Query],
                semantics: str = ELCA, algorithm: str = "join",
                planner: Optional[JoinPlanner] = None,
-               strict: bool = False) -> List[SearchResult]:
+               strict: bool = False,
+               use_cache: bool = True) -> List[SearchResult]:
         """Complete result set, in document order.
 
         ``algorithm`` is one of ``join`` (the paper's join-based
@@ -169,26 +188,46 @@ class XMLDatabase:
         ``oracle`` (the naive reference evaluation).  With
         ``strict=True`` a query term absent from the corpus raises
         `EmptyResultError` instead of silently returning no results.
+        Results are served from the database's result cache when
+        possible (``use_cache=False`` opts out; a custom ``planner``
+        bypasses the cache so the requested plan actually runs).
         """
         check_semantics(semantics)
         terms = self._terms(query)
         if strict:
             self._check_terms_exist(terms)
+        cacheable = use_cache and planner is None
+        key = result_key(terms, semantics, algorithm, None)
+        if cacheable:
+            cached = self.cache.get_results(key)
+            if cached is not None:
+                return cached
+        results, _stats = self._complete_results(terms, semantics, algorithm,
+                                                 planner)
+        if cacheable:
+            self.cache.put_results(key, results)
+        return results
+
+    def _complete_results(self, terms: List[str], semantics: str,
+                          algorithm: str,
+                          planner: Optional[JoinPlanner] = None
+                          ) -> Tuple[List[SearchResult], ExecutionStats]:
+        """Uncached complete-evaluation dispatch shared by `search` and
+        `search_batch`."""
         if algorithm == "join":
-            engine = JoinBasedSearch(self.columnar_index, planner)
-            results, _ = engine.evaluate(terms, semantics)
-            return results
+            engine = JoinBasedSearch(self.columnar_index, planner,
+                                     postings_cache=self.cache)
+            return engine.evaluate(terms, semantics)
         if algorithm == "stack":
-            results, _ = StackBasedSearch(self.inverted_index).evaluate(
+            return StackBasedSearch(self.inverted_index).evaluate(
                 terms, semantics)
-            return results
         if algorithm == "index":
-            results, _ = IndexBasedSearch(self.inverted_index).evaluate(
+            return IndexBasedSearch(self.inverted_index).evaluate(
                 terms, semantics)
-            return results
         if algorithm == "oracle":
-            return SemanticsOracle(self.tree, self.inverted_index,
-                                   self.ranking).evaluate(terms, semantics)
+            results = SemanticsOracle(self.tree, self.inverted_index,
+                                      self.ranking).evaluate(terms, semantics)
+            return results, ExecutionStats()
         raise ValueError(
             f"unknown algorithm {algorithm!r}; one of {ALGORITHMS}")
 
@@ -212,6 +251,12 @@ class XMLDatabase:
         terms = self._terms(query)
         if strict:
             self._check_terms_exist(terms)
+        return self._topk_result(terms, semantics, algorithm, k)
+
+    def _topk_result(self, terms: List[str], semantics: str, algorithm: str,
+                     k: int) -> TopKResult:
+        """Uncached top-K dispatch shared by `search_topk` and
+        `search_batch`."""
         if algorithm == "topk-join":
             return TopKKeywordSearch(self.columnar_index).search(
                 terms, k, semantics)
@@ -221,11 +266,78 @@ class XMLDatabase:
             return HybridTopKSearch(self.columnar_index).search(
                 terms, k, semantics)
         if algorithm == "join":
-            engine = JoinBasedSearch(self.columnar_index)
+            engine = JoinBasedSearch(self.columnar_index,
+                                     postings_cache=self.cache)
             results, stats = engine.evaluate(terms, semantics)
             return TopKResult(sort_by_score(results)[:k], stats)
         raise ValueError(
             f"unknown algorithm {algorithm!r}; one of {TOPK_ALGORITHMS}")
+
+    def search_batch(self, queries: Sequence[Union[str, Sequence[str],
+                                                   Query]],
+                     semantics: str = ELCA,
+                     k: Optional[int] = None,
+                     algorithm: Optional[str] = None,
+                     threads: Optional[int] = None,
+                     with_stats: bool = False,
+                     use_cache: bool = True):
+        """Evaluate many queries against shared cache state.
+
+        ``k=None`` (default) runs complete evaluations (``algorithm``
+        defaults to ``join``) and each entry of the returned list is the
+        query's `SearchResult` list in document order; with ``k`` set,
+        top-K evaluations run instead (``algorithm`` defaults to
+        ``topk-join``) and each entry is the best-first truncated list.
+
+        ``threads`` > 1 evaluates queries on a thread pool -- the index
+        structures are read-only after build and the caches take a lock,
+        so results are identical to the sequential run.  With
+        ``with_stats=True`` entries are ``(results, ExecutionStats)``
+        pairs; a repeated query is served from the result cache
+        (``stats.cache_hits == 1``) and skips level evaluation entirely
+        (``stats.levels_processed == 0``).
+        """
+        check_semantics(semantics)
+        if algorithm is None:
+            algorithm = "join" if k is None else "topk-join"
+
+        def one(query) -> Tuple[List[SearchResult], ExecutionStats]:
+            terms = self._terms(query)
+            key = result_key(terms, semantics, algorithm, k)
+            if use_cache:
+                cached = self.cache.get_results(key)
+                if cached is not None:
+                    return cached, ExecutionStats(cache_hits=1)
+            if k is None:
+                results, stats = self._complete_results(terms, semantics,
+                                                        algorithm)
+            else:
+                top = self._topk_result(terms, semantics, algorithm, k)
+                results, stats = list(top.results), top.stats
+            if use_cache:
+                before = self.cache.results.stats.evictions
+                self.cache.put_results(key, results)
+                stats.cache_misses += 1
+                stats.cache_evictions += \
+                    self.cache.results.stats.evictions - before
+            return results, stats
+
+        if threads is not None and threads > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            # Build lazy indexes up-front: concurrent first touches would
+            # otherwise race to construct them.
+            if algorithm in ("join", "topk-join", "hybrid"):
+                self.columnar_index
+            if algorithm in ("stack", "index", "oracle", "rdil"):
+                self.inverted_index
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                pairs = list(pool.map(one, queries))
+        else:
+            pairs = [one(query) for query in queries]
+        if with_stats:
+            return pairs
+        return [results for results, _stats in pairs]
 
     def search_stream(self, query: Union[str, Sequence[str], Query],
                       semantics: str = ELCA):
@@ -267,6 +379,10 @@ class XMLDatabase:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/eviction counters of the postings and result caches."""
+        return self.cache.stats()
 
     def document_frequency(self, term: str) -> int:
         return self.inverted_index.document_frequency(term.lower())

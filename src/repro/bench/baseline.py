@@ -1,0 +1,196 @@
+"""Hot-path baseline emitter: writes ``BENCH_hotpath.json``.
+
+Measures the operations this codebase treats as its serving hot path --
+the join-based level loop (vectorized vs the scalar reference), the bulk
+erasure APIs (vs their scalar loops) and cached vs uncached query
+serving -- on the Figure 9 DBLP workload's high-frequency keyword pair.
+Per-op p50/p95 wall times and the derived speedups are written as JSON
+so later PRs have a perf trajectory to compare against::
+
+    PYTHONPATH=src python -m repro.bench.baseline --small --out BENCH_hotpath.json
+
+Schema (``repro.bench.hotpath/v1``)::
+
+    {
+      "schema": "repro.bench.hotpath/v1",
+      "config": {"scale", "n_papers", "high_freq", "repeats"},
+      "workload": {"queries": [[term, ...], ...], "semantics": "elca"},
+      "ops": {"<op>": {"p50_ms": float, "p95_ms": float, "repeats": int}},
+      "speedups": {"<pair>": float}   # scalar p50 / vectorized p50
+    }
+
+Ops: ``level_loop_scalar`` / ``level_loop_vectorized`` (one complete
+ELCA evaluation of every workload query), ``erased_counts_scalar`` /
+``erased_counts_bulk``, ``mark_many_scalar`` / ``mark_many_bulk`` (the
+erasure micro-ops), ``query_uncached`` / ``query_cached`` (one query
+through `XMLDatabase.search_batch`, result cache cold vs warm).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..algorithms.erasure import make_eraser
+from ..algorithms.join_based import JoinBasedSearch
+from .harness import BenchConfig, Workbench
+
+SCHEMA = "repro.bench.hotpath/v1"
+DEFAULT_OUT = "BENCH_hotpath.json"
+
+
+def _timed_samples(fn: Callable[[], object], repeats: int) -> List[float]:
+    """Wall times in milliseconds for `repeats` runs of `fn`."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return samples
+
+
+def _op_entry(samples: List[float]) -> Dict[str, float]:
+    return {
+        "p50_ms": float(np.percentile(samples, 50)),
+        "p95_ms": float(np.percentile(samples, 95)),
+        "repeats": len(samples),
+    }
+
+
+def _fig9_high_pair(bench: Workbench) -> List[List[str]]:
+    """The Figure 9 k=2 cells at the highest planted low frequency --
+    both keywords frequent, so the level loop has maximal work."""
+    top = max(bench.config.low_freqs)
+    return [list(spec.terms) for spec in bench.builder.frequency_sweep(2)
+            if spec.low_frequency == top]
+
+
+def _erasure_fixture(seed: int = 5, size: int = 200_000, n_marks: int = 800,
+                     n_queries: int = 4_000):
+    """Random contained-or-disjoint marks + query ranges for the erasure
+    micro-ops (both erasers accept the same geometry)."""
+    rng = np.random.default_rng(seed)
+    points = np.sort(rng.choice(size, size=2 * n_marks, replace=False))
+    mark_lows = points[0::2].astype(np.int64)
+    mark_highs = points[1::2].astype(np.int64)
+    q_lows = rng.integers(0, size - 1, size=n_queries).astype(np.int64)
+    q_highs = (q_lows
+               + rng.integers(1, 500, size=n_queries)).clip(max=size)
+    return size, mark_lows, mark_highs, q_lows, q_highs
+
+
+def hotpath_report(bench: Workbench, repeats: int = 5,
+                   scale_label: str = "full") -> Dict:
+    """Measure every hot-path op pair and return the report dict."""
+    db = bench.dblp
+    queries = _fig9_high_pair(bench)
+    specs = [spec for spec in bench.builder.frequency_sweep(2)
+             if spec.low_frequency == max(bench.config.low_freqs)]
+    bench.warm(db, specs)
+
+    ops: Dict[str, Dict[str, float]] = {}
+
+    def measure(name: str, fn: Callable[[], object]) -> float:
+        fn()  # one warmup run outside the timed region
+        samples = _timed_samples(fn, repeats)
+        ops[name] = _op_entry(samples)
+        return ops[name]["p50_ms"]
+
+    # -- level loop: scalar reference vs vectorized -------------------
+    scalar_engine = JoinBasedSearch(db.columnar_index, vectorized=False)
+    vector_engine = JoinBasedSearch(db.columnar_index, vectorized=True)
+
+    def run_engine(engine):
+        for terms in queries:
+            engine.evaluate(terms, "elca")
+
+    scalar_p50 = measure("level_loop_scalar",
+                         lambda: run_engine(scalar_engine))
+    vector_p50 = measure("level_loop_vectorized",
+                         lambda: run_engine(vector_engine))
+
+    # -- erasure micro-ops: bulk vs scalar loops ----------------------
+    size, m_lows, m_highs, q_lows, q_highs = _erasure_fixture()
+    marked = make_eraser("bitmap", size)
+    marked.mark_many(m_lows, m_highs)
+    marked.erased_counts(q_lows[:1], q_highs[:1])  # build the prefix
+
+    counts_scalar_p50 = measure(
+        "erased_counts_scalar",
+        lambda: [marked.erased_count(int(a), int(b))
+                 for a, b in zip(q_lows, q_highs)])
+    counts_bulk_p50 = measure(
+        "erased_counts_bulk",
+        lambda: marked.erased_counts(q_lows, q_highs))
+
+    def mark_scalar():
+        eraser = make_eraser("bitmap", size)
+        for a, b in zip(m_lows, m_highs):
+            eraser.mark(int(a), int(b))
+
+    def mark_bulk():
+        make_eraser("bitmap", size).mark_many(m_lows, m_highs)
+
+    mark_scalar_p50 = measure("mark_many_scalar", mark_scalar)
+    mark_bulk_p50 = measure("mark_many_bulk", mark_bulk)
+
+    # -- query serving: result cache cold vs warm ---------------------
+    query = queries[0]
+
+    def uncached():
+        db.search_batch([query], use_cache=False)
+
+    def cached():
+        db.search_batch([query])
+
+    uncached_p50 = measure("query_uncached", uncached)
+    db.cache.clear()
+    cached()  # populate the result cache once
+    cached_p50 = measure("query_cached", cached)
+
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "scale": scale_label,
+            "n_papers": bench.config.n_papers,
+            "high_freq": bench.config.high_freq,
+            "repeats": repeats,
+        },
+        "workload": {"queries": queries, "semantics": "elca"},
+        "ops": ops,
+        "speedups": {
+            "level_loop": scalar_p50 / vector_p50,
+            "erased_counts": counts_scalar_p50 / counts_bulk_p50,
+            "mark_many": mark_scalar_p50 / mark_bulk_p50,
+            "result_cache": uncached_p50 / cached_p50,
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="emit the hot-path baseline (BENCH_hotpath.json)")
+    parser.add_argument("--small", action="store_true",
+                        help="smoke-scale corpus (CI)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output path (default {DEFAULT_OUT})")
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    scale = "small" if args.small else "full"
+    bench = Workbench(BenchConfig.small() if args.small else BenchConfig())
+    report = hotpath_report(bench, repeats=args.repeats, scale_label=scale)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    speedups = ", ".join(f"{name} {value:.2f}x"
+                         for name, value in report["speedups"].items())
+    print(f"wrote {args.out} ({scale}): {speedups}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""Query-serving caches: LRU postings and query-result caching.
+
+The index structures are immutable once built, so serving many queries
+is a caching problem, not a concurrency problem.  `QueryCache` bundles
+the two caches `XMLDatabase` wires in:
+
+* a **postings cache** (term -> `ColumnarPostings`), worthwhile when
+  postings are expensive to materialize (the lazy disk-backed index
+  decompresses per column) and as the shared warm set of a batch;
+* a **result cache** keyed by ``(terms, semantics, algorithm, k)``; a
+  hit skips level evaluation entirely.
+
+Both are bounded LRUs with hit/miss/eviction counters; every operation
+takes the cache lock, so a `QueryCache` can be shared by the threads of
+`XMLDatabase.search_batch`.  Entries are treated as immutable: callers
+get shallow copies of cached result lists, and must not mutate the
+`SearchResult` objects themselves.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (Any, Dict, Hashable, List, Optional, Sequence, Tuple)
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters of one LRU cache since construction (or `clear`)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+class LRUCache:
+    """A bounded, thread-safe least-recently-used map.
+
+    ``capacity <= 0`` disables storage: every `get` is a miss and `put`
+    is a no-op, which keeps the calling code branch-free.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.stats = CacheStats()
+
+
+ResultKey = Tuple[Tuple[str, ...], str, str, Optional[int]]
+
+
+def result_key(terms: Sequence[str], semantics: str, algorithm: str,
+               k: Optional[int] = None) -> ResultKey:
+    """Canonical result-cache key; `None` k marks a complete evaluation."""
+    return (tuple(terms), semantics, algorithm, k)
+
+
+class QueryCache:
+    """The postings + result cache pair served to `XMLDatabase`.
+
+    Parameters
+    ----------
+    postings_capacity:
+        Max distinct terms whose postings stay resident (LRU).
+    result_capacity:
+        Max cached query results (LRU over `result_key` entries).
+    """
+
+    def __init__(self, postings_capacity: int = 256,
+                 result_capacity: int = 1024):
+        self.postings = LRUCache(postings_capacity)
+        self.results = LRUCache(result_capacity)
+
+    def query_postings(self, index, terms: Sequence[str]) -> List:
+        """`ColumnarIndex.query_postings` through the postings LRU.
+
+        Mirrors the index method exactly: per-term postings (empty ones
+        included) sorted shortest-first with a stable sort, so join
+        order is unchanged by caching.
+        """
+        postings = []
+        for term in terms:
+            cached = self.postings.get(term, _MISSING)
+            if cached is _MISSING:
+                cached = index.term_postings(term)
+                self.postings.put(term, cached)
+            postings.append(cached)
+        postings.sort(key=len)
+        return postings
+
+    def get_results(self, key: ResultKey):
+        """Cached result list for `key`, copied, or ``None`` on miss."""
+        cached = self.results.get(key, _MISSING)
+        if cached is _MISSING:
+            return None
+        return list(cached)
+
+    def put_results(self, key: ResultKey, results: Sequence) -> None:
+        self.results.put(key, list(results))
+
+    def clear(self) -> None:
+        self.postings.clear()
+        self.results.clear()
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {"postings": self.postings.stats.as_dict(),
+                "results": self.results.stats.as_dict()}

@@ -76,8 +76,14 @@ def save_database(db: XMLDatabase, path: str) -> None:
 
 
 def load_database(path: str,
-                  ranking: Optional[RankingModel] = None) -> XMLDatabase:
+                  ranking: Optional[RankingModel] = None,
+                  cache=None,
+                  postings_cache_size: int = 256,
+                  result_cache_size: int = 1024) -> XMLDatabase:
     """Open a directory written by `save_database`.
+
+    ``cache`` / ``postings_cache_size`` / ``result_cache_size`` are
+    forwarded to the `XMLDatabase` constructor.
 
     Raises `DatabaseFormatError` on missing files, version mismatch, or
     a document that no longer matches the stored indexes.
@@ -106,7 +112,9 @@ def load_database(path: str,
         ranking = RankingModel(
             damping=DampingFunction(meta["damping_base"]))
     db = XMLDatabase(tree, tokenizer=tokenizer, ranking=ranking,
-                     jdewey_gap=meta["jdewey_gap"])
+                     jdewey_gap=meta["jdewey_gap"], cache=cache,
+                     postings_cache_size=postings_cache_size,
+                     result_cache_size=result_cache_size)
 
     with open(os.path.join(path, _COLUMNAR), "rb") as f:
         columnar_postings = storage.deserialize_columnar_index(f.read())

@@ -64,6 +64,27 @@ class Column:
             return 0, 0
         return int(self.run_starts[i]), int(self.run_starts[i + 1])
 
+    def runs_of(self, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Bulk `run_of`: (lows, highs) position ranges for `values`.
+
+        Every value must be present in `distinct` (join outputs always
+        are -- they come from intersecting distinct arrays); absent
+        values would silently alias a neighbouring run.
+        """
+        idx = np.searchsorted(self.distinct, values)
+        return self.run_starts[idx], self.run_starts[idx + 1]
+
+    def ordinal_spans(self, lows: np.ndarray, highs: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sequence-ordinal spans [lo, hi) covering each run [a, b).
+
+        The span is the erasure currency of section III-E: it includes
+        ordinals of shorter sequences interleaved within the run, which
+        is exactly the range rule ("all the sequences within A_k").
+        Runs must be non-empty.
+        """
+        return self.seq_idx[lows], self.seq_idx[highs - 1] + 1
+
     def run_seq_indices(self, value: int) -> np.ndarray:
         """Sequence ordinals of the run for `value`."""
         a, b = self.run_of(value)

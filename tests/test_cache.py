@@ -1,0 +1,196 @@
+"""Tests for the query-serving cache layer (`repro.cache`) and
+`XMLDatabase.search_batch`."""
+
+import pytest
+
+from repro import XMLDatabase
+from repro.cache import LRUCache, QueryCache, result_key
+
+
+def deweys(results):
+    return [r.node.dewey for r in results]
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(2)
+        assert cache.get("a") is None
+        assert cache.stats.misses == 1
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+
+    def test_eviction_order_and_counter(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a": "b" is now LRU
+        cache.put("c", 3)
+        assert cache.stats.evictions == 1
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_overwrite_same_key(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert cache.stats.evictions == 0
+
+    def test_clear_resets(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0
+
+
+class TestQueryCacheWiring:
+    def test_result_cache_hit_skips_evaluation(self, small_db):
+        first = small_db.search("xml data")
+        stats = small_db.cache.results.stats
+        hits_before = stats.hits
+        second = small_db.search("xml data")
+        assert stats.hits == hits_before + 1
+        assert deweys(first) == deweys(second)
+
+    def test_use_cache_false_bypasses(self, small_db):
+        small_db.search("xml data")
+        stats = small_db.cache.results.stats
+        hits_before = stats.hits
+        small_db.search("xml data", use_cache=False)
+        assert stats.hits == hits_before
+
+    def test_cached_results_are_copies(self, small_db):
+        first = small_db.search("xml data")
+        first.clear()
+        assert len(small_db.search("xml data")) > 0
+
+    def test_open_forwards_cache_knobs(self, small_db, tmp_path):
+        path = str(tmp_path / "db")
+        small_db.save(path)
+        shared = QueryCache(postings_capacity=4, result_capacity=4)
+        db = XMLDatabase.open(path, cache=shared)
+        assert db.cache is shared
+        disabled = XMLDatabase.open(path, postings_cache_size=0,
+                                    result_cache_size=0)
+        first = disabled.search("xml data")
+        second = disabled.search("xml data")
+        assert deweys(first) == deweys(second)
+        assert len(disabled.cache.results) == 0
+
+    def test_correctness_after_eviction(self):
+        db = XMLDatabase.from_xml_text(
+            "<r><a>xml data</a><b>xml</b><c>data</c></r>",
+            result_cache_size=1)
+        expected_pair = deweys(db.search("xml data", use_cache=False))
+        expected_xml = deweys(db.search("xml", use_cache=False))
+        for _ in range(3):  # alternate: each query evicts the other
+            assert deweys(db.search("xml data")) == expected_pair
+            assert deweys(db.search("xml")) == expected_xml
+        assert db.cache.results.stats.evictions > 0
+
+    def test_semantics_and_algorithm_keyed_separately(self, fig1_db):
+        elca = fig1_db.search("xml data", semantics="elca")
+        slca = fig1_db.search("xml data", semantics="slca")
+        assert deweys(fig1_db.search("xml data", semantics="slca")) == \
+            deweys(slca)
+        # In the Figure-1 tree the root is an ELCA but not an SLCA, so
+        # the two semantics genuinely differ -- a shared cache key would
+        # have returned the wrong set above.
+        assert deweys(elca) != deweys(slca)
+
+    def test_refresh_clears_cache(self, small_db):
+        small_db.search("xml data")
+        assert len(small_db.cache.results) > 0
+        small_db.refresh()
+        assert len(small_db.cache.results) == 0
+        assert len(small_db.cache.postings) == 0
+
+    def test_postings_cache_counts(self, small_db):
+        small_db.search("xml data")
+        stats = small_db.cache.postings.stats
+        assert stats.misses >= 2
+        small_db.search("xml data", use_cache=False)  # re-evaluates
+        assert stats.hits >= 2
+
+    def test_cache_stats_shape(self, small_db):
+        report = small_db.cache_stats()
+        assert set(report) == {"postings", "results"}
+        assert set(report["results"]) == {"hits", "misses", "evictions"}
+
+    def test_query_postings_order_matches_index(self, small_db):
+        index = small_db.columnar_index
+        cache = QueryCache()
+        direct = index.query_postings(["data", "xml"])
+        cached = cache.query_postings(index, ["data", "xml"])
+        assert [p.term for p in cached] == [p.term for p in direct]
+        again = cache.query_postings(index, ["data", "xml"])
+        assert [id(p) for p in again] == [id(p) for p in cached]
+
+
+class TestSearchBatch:
+    @pytest.mark.parametrize("threads", [None, 4])
+    def test_batch_matches_sequential_search(self, small_db, threads):
+        queries = ["xml data", "data", "xml keyword", "zzz missing"]
+        expected = [deweys(small_db.search(q, use_cache=False))
+                    for q in queries]
+        got = small_db.search_batch(queries, threads=threads,
+                                    use_cache=False)
+        assert [deweys(rs) for rs in got] == expected
+
+    @pytest.mark.parametrize("threads", [None, 4])
+    def test_batch_matches_sequential_topk(self, small_db, threads):
+        queries = ["xml data", "data xml"]
+        expected = [deweys(small_db.search_topk(q, k=3).results)
+                    for q in queries]
+        got = small_db.search_batch(queries, k=3, threads=threads,
+                                    use_cache=False)
+        assert [deweys(rs) for rs in got] == expected
+
+    def test_repeated_query_reports_hit_and_skips_levels(self, small_db):
+        pairs = small_db.search_batch(["xml data", "xml data"],
+                                      with_stats=True)
+        (r1, s1), (r2, s2) = pairs
+        assert s1.cache_misses == 1 and s1.levels_processed > 0
+        assert s2.cache_hits == 1 and s2.levels_processed == 0
+        assert deweys(r1) == deweys(r2)
+
+    def test_eviction_counter_on_stats(self):
+        db = XMLDatabase.from_xml_text(
+            "<r><a>xml data</a><b>xml</b></r>", result_cache_size=1)
+        pairs = db.search_batch(["xml data", "xml", "xml data"],
+                                with_stats=True)
+        assert sum(s.cache_evictions for _, s in pairs) >= 1
+
+    def test_threaded_batch_shares_cache(self, small_db):
+        small_db.cache.clear()
+        queries = ["xml data"] * 8
+        results = small_db.search_batch(queries, threads=4)
+        assert all(deweys(rs) == deweys(results[0]) for rs in results)
+        stats = small_db.cache.results.stats
+        assert stats.hits + stats.misses == 8
+        assert stats.misses >= 1
+        assert stats.hits >= 1
+
+    def test_string_and_list_queries_share_cache_key(self, small_db):
+        small_db.cache.clear()
+        small_db.search_batch([["XML", "Data"]])
+        pairs = small_db.search_batch(["xml data"], with_stats=True)
+        assert pairs[0][1].cache_hits == 1
+
+    def test_semantics_validated(self, small_db):
+        with pytest.raises(ValueError):
+            small_db.search_batch(["xml"], semantics="nope")
+
+    def test_result_key_shape(self):
+        assert result_key(["a", "b"], "elca", "join") == \
+            (("a", "b"), "elca", "join", None)

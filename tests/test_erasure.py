@@ -122,6 +122,111 @@ def nested_marks(draw):
     return size, marks
 
 
+@st.composite
+def bulk_queries(draw, size):
+    """Random (lows, highs) range arrays within [0, size]."""
+    n = draw(st.integers(0, 12))
+    lows, highs = [], []
+    for _ in range(n):
+        lo = draw(st.integers(0, size))
+        hi = draw(st.integers(lo, size))
+        lows.append(lo)
+        highs.append(hi)
+    return (np.asarray(lows, dtype=np.int64),
+            np.asarray(highs, dtype=np.int64))
+
+
+class TestBulkAPIs:
+    """Property-based equivalence: bulk vs scalar on random sequences."""
+
+    @pytest.mark.parametrize("mode", ["bitmap", "interval"])
+    @given(case=nested_marks(), data=st.data())
+    def test_erased_counts_matches_scalar(self, mode, case, data):
+        size, marks = case
+        eraser = make_eraser(mode, size)
+        for lo, hi in marks:
+            eraser.mark(lo, hi)
+        lows, highs = data.draw(bulk_queries(size))
+        bulk = eraser.erased_counts(lows, highs)
+        scalar = [eraser.erased_count(int(lo), int(hi))
+                  for lo, hi in zip(lows, highs)]
+        assert list(bulk) == scalar
+
+    @pytest.mark.parametrize("mode", ["bitmap", "interval"])
+    @given(case=nested_marks())
+    def test_mark_many_matches_mark_sequence(self, mode, case):
+        size, marks = case
+        one_by_one = make_eraser(mode, size)
+        for lo, hi in marks:
+            one_by_one.mark(lo, hi)
+        bulk = make_eraser(mode, size)
+        bulk.mark_many(np.asarray([m[0] for m in marks], dtype=np.int64),
+                       np.asarray([m[1] for m in marks], dtype=np.int64))
+        assert bulk.total_erased == one_by_one.total_erased
+        for i in range(size):
+            assert bulk.is_erased(i) == one_by_one.is_erased(i)
+
+    @given(case=nested_marks(), data=st.data())
+    def test_interleaved_marks_and_counts(self, case, data):
+        """Counts stay correct as marks arrive between bulk queries
+        (the cached prefix/array views must invalidate)."""
+        size, marks = case
+        bitmap = BitmapEraser(size)
+        interval = IntervalEraser(size)
+        for lo, hi in marks:
+            bitmap.mark(lo, hi)
+            interval.mark(lo, hi)
+            lows, highs = data.draw(bulk_queries(size))
+            assert list(bitmap.erased_counts(lows, highs)) == \
+                list(interval.erased_counts(lows, highs)) == \
+                [bitmap.erased_count(int(a), int(b))
+                 for a, b in zip(lows, highs)]
+
+    def test_bitmap_mark_many_overlapping_ranges(self):
+        # The bitmap has no geometry restriction: arbitrary overlaps.
+        eraser = BitmapEraser(50)
+        eraser.mark_many(np.asarray([0, 5, 3]), np.asarray([10, 20, 7]))
+        assert eraser.total_erased == 20
+        assert eraser.erased_count(0, 50) == 20
+
+    @pytest.mark.parametrize("mode", ["bitmap", "interval"])
+    def test_bulk_validation(self, mode):
+        eraser = make_eraser(mode, 10)
+        with pytest.raises(ValueError):
+            eraser.mark_many(np.asarray([-1]), np.asarray([5]))
+        with pytest.raises(ValueError):
+            eraser.erased_counts(np.asarray([0]), np.asarray([11]))
+        with pytest.raises(ValueError):
+            eraser.erased_counts(np.asarray([5]), np.asarray([2]))
+        with pytest.raises(ValueError):
+            eraser.mark_many(np.asarray([0, 1]), np.asarray([5]))
+
+    @pytest.mark.parametrize("mode", ["bitmap", "interval"])
+    def test_bulk_empty_inputs(self, mode):
+        eraser = make_eraser(mode, 10)
+        eraser.mark_many(np.empty(0, dtype=np.int64),
+                         np.empty(0, dtype=np.int64))
+        assert eraser.total_erased == 0
+        counts = eraser.erased_counts(np.empty(0, dtype=np.int64),
+                                      np.empty(0, dtype=np.int64))
+        assert len(counts) == 0
+
+    @pytest.mark.parametrize("mode", ["bitmap", "interval"])
+    @given(case=nested_marks(), data=st.data())
+    def test_free_mask_matches_is_erased(self, mode, case, data):
+        size, marks = case
+        eraser = make_eraser(mode, size)
+        for lo, hi in marks:
+            eraser.mark(lo, hi)
+        n = data.draw(st.integers(0, 20))
+        ordinals = np.asarray(
+            data.draw(st.lists(st.integers(0, size - 1), min_size=n,
+                               max_size=n)), dtype=np.int64)
+        mask = eraser.free_mask(ordinals)
+        assert list(mask) == [not eraser.is_erased(int(o))
+                              for o in ordinals]
+
+
 class TestEquivalence:
     @given(nested_marks())
     def test_bitmap_and_interval_agree(self, case):
