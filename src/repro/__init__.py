@@ -17,10 +17,13 @@ Quickstart::
     top = db.search_topk("database query", k=5)
 """
 
-from .api import ALGORITHMS, TOPK_ALGORITHMS, Query, XMLDatabase
+from .api import ALGORITHMS, TOPK_ALGORITHMS, BatchResult, Query, XMLDatabase
 from .algorithms.base import (ELCA, SLCA, ExecutionStats, SearchResult,
                               TopKResult)
 from .cache import CacheStats, LRUCache, QueryCache
+from .obs import (MetricsRegistry, NullTracer, SlowQueryLog, Tracer,
+                  get_registry, render_trace, spans_per_level_plan,
+                  trace_to_jsonl)
 from .xmltree import (Node, XMLTree, build_tree, parse_xml, parse_xml_file)
 
 __version__ = "1.0.0"
@@ -35,9 +38,18 @@ __all__ = [
     "ExecutionStats",
     "SearchResult",
     "TopKResult",
+    "BatchResult",
     "CacheStats",
     "LRUCache",
     "QueryCache",
+    "MetricsRegistry",
+    "NullTracer",
+    "SlowQueryLog",
+    "Tracer",
+    "get_registry",
+    "render_trace",
+    "spans_per_level_plan",
+    "trace_to_jsonl",
     "Node",
     "XMLTree",
     "build_tree",

@@ -98,6 +98,29 @@ class ExecutionStats:
     cache_evictions: int = 0
     per_level_plan: List[Tuple[int, str]] = field(default_factory=list)
 
+    _COUNTER_FIELDS = (
+        "levels_processed", "joins", "merge_joins", "index_joins",
+        "tuples_scanned", "lookups", "candidates_checked",
+        "results_emitted", "erasures", "threshold_checks", "cache_hits",
+        "cache_misses", "cache_evictions")
+
+    def merge(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Fold `other` into this object: counters add, the per-level
+        plan concatenates (plan order = fold order).  Returns self, so
+        ``sum`` / ``functools.reduce`` folds read naturally."""
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.per_level_plan.extend(other.per_level_plan)
+        return self
+
+    def __iadd__(self, other: "ExecutionStats") -> "ExecutionStats":
+        return self.merge(other)
+
+    def __add__(self, other: "ExecutionStats") -> "ExecutionStats":
+        merged = ExecutionStats()
+        merged.merge(self)
+        return merged.merge(other)
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "levels_processed": self.levels_processed,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..index.columnar import ColumnarIndex
+from ..obs.tracing import Span, render_trace
 from ..planner.cardinality import CardinalityEstimator
 from ..planner.plans import JoinPlanner
 from .base import ELCA, ExecutionStats, check_semantics
@@ -55,6 +56,7 @@ class QueryPlan:
     levels: List[LevelPlan] = field(default_factory=list)
     stats: Optional[ExecutionStats] = None
     n_results: int = 0
+    trace: Optional[Span] = None
 
     def format(self) -> str:
         lines = [
@@ -71,6 +73,9 @@ class QueryPlan:
                 f"{self.stats.tuples_scanned} tuples scanned, "
                 f"{self.stats.lookups} probes, "
                 f"{self.stats.erasures} sequences erased")
+        if self.trace is not None:
+            lines.append("trace:")
+            lines.append(render_trace(self.trace))
         return "\n".join(lines)
 
     @property
@@ -85,15 +90,18 @@ class QueryPlan:
 
 def explain(index: ColumnarIndex, terms: Sequence[str],
             semantics: str = ELCA,
-            planner: Optional[JoinPlanner] = None) -> QueryPlan:
+            planner: Optional[JoinPlanner] = None,
+            tracer=None) -> QueryPlan:
     """Evaluate `terms` and return the per-level `QueryPlan`.
 
     Runs the real engine (the plan reflects actual run-time decisions,
-    not estimates alone).
+    not estimates alone).  With a live ``tracer``, the evaluation's span
+    tree is recorded and attached as ``plan.trace`` -- its per-level
+    ``plan`` tags match ``stats.per_level_plan`` exactly.
     """
     check_semantics(semantics)
     terms = list(terms)
-    engine = JoinBasedSearch(index, planner)
+    engine = JoinBasedSearch(index, planner, tracer=tracer)
     estimator = CardinalityEstimator()
     ordered = index.query_postings(terms)
     plan = QueryPlan(terms=tuple(terms),
@@ -111,8 +119,16 @@ def explain(index: ColumnarIndex, terms: Sequence[str],
             emitted=emitted,
         ))
 
-    results, stats = engine.evaluate(terms, semantics, with_scores=False,
-                                     observer=observer)
+    if tracer is not None and tracer.enabled:
+        with tracer.span("query", op="explain", terms=list(terms),
+                         semantics=semantics):
+            results, stats = engine.evaluate(terms, semantics,
+                                             with_scores=False,
+                                             observer=observer)
+        plan.trace = tracer.last_root()
+    else:
+        results, stats = engine.evaluate(terms, semantics, with_scores=False,
+                                         observer=observer)
     # The planner tags each pairwise join with its level; attach them.
     for level_plan in plan.levels:
         level_plan.join_algorithms = tuple(

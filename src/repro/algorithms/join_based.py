@@ -44,6 +44,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..index.columnar import ColumnarIndex, ColumnarPostings
+from ..obs.tracing import NULL_TRACER
 from ..planner.plans import JoinPlanner
 from ..scoring.ranking import RankingModel
 from .base import (ELCA, SLCA, ExecutionStats, SearchResult, check_semantics,
@@ -71,18 +72,25 @@ class JoinBasedSearch:
     postings_cache:
         Optional `repro.cache.QueryCache`; when given, per-term postings
         lookups go through its LRU instead of straight to the index.
+    tracer:
+        Optional `repro.obs.Tracer`; defaults to the no-op tracer.  The
+        engine records O(levels) spans per query (postings fetch, then
+        per level: join tagged with the section III-C plan choice and
+        cardinalities, scoring, erasure) -- never per-candidate spans.
     """
 
     def __init__(self, index: ColumnarIndex,
                  planner: Optional[JoinPlanner] = None,
                  eraser_mode: str = "bitmap",
                  vectorized: bool = True,
-                 postings_cache=None):
+                 postings_cache=None,
+                 tracer=None):
         self.index = index
         self.planner = planner if planner is not None else JoinPlanner()
         self.eraser_mode = eraser_mode
         self.vectorized = vectorized
         self.postings_cache = postings_cache
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.ranking: RankingModel = index.ranking
 
     def evaluate(self, terms: Sequence[str], semantics: str = ELCA,
@@ -95,14 +103,18 @@ class JoinBasedSearch:
         hook behind `repro.algorithms.explain`.
         """
         check_semantics(semantics)
+        tracer = self.tracer
         stats = ExecutionStats()
         terms = list(terms)
         if not terms:
             return [], stats
-        if self.postings_cache is not None:
-            postings = self.postings_cache.query_postings(self.index, terms)
-        else:
-            postings = self.index.query_postings(terms)
+        with tracer.span("postings_fetch", terms=list(terms)) as pspan:
+            if self.postings_cache is not None:
+                postings = self.postings_cache.query_postings(self.index,
+                                                              terms)
+            else:
+                postings = self.index.query_postings(terms)
+            pspan.tag(list_sizes=[len(p) for p in postings])
         if any(len(p) == 0 for p in postings):
             return [], stats
         # Term order after shortest-first sorting; remember the mapping so
@@ -120,50 +132,63 @@ class JoinBasedSearch:
             if any(len(c) == 0 for c in columns):
                 continue
             stats.levels_processed += 1
-            joined = self.planner.intersect_all(
-                [c.distinct for c in columns], stats, level)
+            plan_mark = len(stats.per_level_plan)
+            with tracer.span("join", level=level) as jspan:
+                joined = self.planner.intersect_all(
+                    [c.distinct for c in columns], stats, level)
+                jspan.tag(
+                    plan=[alg for _lvl, alg
+                          in stats.per_level_plan[plan_mark:]],
+                    inputs=[int(c.n_distinct) for c in columns],
+                    output=int(len(joined)))
             if len(joined) == 0:
                 if observer is not None:
                     observer(level, columns, joined, 0)
                 continue
             # Run boundaries of every joined value in every column, in bulk.
             run_bounds = [column.runs_of(joined) for column in columns]
-            if self.vectorized:
-                emitted_at_level = self._check_level_vectorized(
-                    joined, level, postings, columns, run_bounds, erasers,
-                    semantics, with_scores, caller_slot, damping_base,
-                    stats, results)
-            else:
-                emitted_at_level = 0
-                for j, number in enumerate(joined):
-                    stats.candidates_checked += 1
-                    emitted = self._check_candidate(
-                        int(number), level, j, postings, columns, run_bounds,
+            with tracer.span("score", level=level) as sspan:
+                if self.vectorized:
+                    emitted_at_level = self._check_level_vectorized(
+                        joined, level, postings, columns, run_bounds,
                         erasers, semantics, with_scores, caller_slot,
-                        damping_base)
-                    if emitted is not None:
-                        results.append(emitted)
-                        emitted_at_level += 1
-                        stats.results_emitted += 1
+                        damping_base, stats, results)
+                else:
+                    emitted_at_level = 0
+                    for j, number in enumerate(joined):
+                        stats.candidates_checked += 1
+                        emitted = self._check_candidate(
+                            int(number), level, j, postings, columns,
+                            run_bounds, erasers, semantics, with_scores,
+                            caller_slot, damping_base)
+                        if emitted is not None:
+                            results.append(emitted)
+                            emitted_at_level += 1
+                            stats.results_emitted += 1
+                sspan.tag(candidates=int(len(joined)),
+                          emitted=emitted_at_level)
             if observer is not None:
                 observer(level, columns, joined, emitted_at_level)
             # Erase every joined range *after* the level is fully checked:
             # same-level candidates never interact (disjoint subtrees).
-            if self.vectorized:
-                for t, column in enumerate(columns):
-                    lows, highs = run_bounds[t]
-                    lo_ords, hi_ords = column.ordinal_spans(lows, highs)
-                    erasers[t].mark_many(lo_ords, hi_ords)
-                    stats.erasures += int((highs - lows).sum())
-            else:
-                for t, column in enumerate(columns):
-                    lows, highs = run_bounds[t]
-                    for j in range(len(joined)):
-                        a, b = int(lows[j]), int(highs[j])
-                        ordinals = column.seq_idx[a:b]
-                        erasers[t].mark(int(ordinals[0]),
-                                        int(ordinals[-1]) + 1)
-                        stats.erasures += b - a
+            erasure_mark = stats.erasures
+            with tracer.span("erase", level=level) as espan:
+                if self.vectorized:
+                    for t, column in enumerate(columns):
+                        lows, highs = run_bounds[t]
+                        lo_ords, hi_ords = column.ordinal_spans(lows, highs)
+                        erasers[t].mark_many(lo_ords, hi_ords)
+                        stats.erasures += int((highs - lows).sum())
+                else:
+                    for t, column in enumerate(columns):
+                        lows, highs = run_bounds[t]
+                        for j in range(len(joined)):
+                            a, b = int(lows[j]), int(highs[j])
+                            ordinals = column.seq_idx[a:b]
+                            erasers[t].mark(int(ordinals[0]),
+                                            int(ordinals[-1]) + 1)
+                            stats.erasures += b - a
+                espan.tag(erased=stats.erasures - erasure_mark)
         return sort_by_document_order(results), stats
 
     def _check_level_vectorized(self, joined: np.ndarray, level: int,

@@ -269,6 +269,21 @@ class TopKStarJoin:
             self._group_count[mask] = remaining
 
     # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def progress(self) -> Dict[str, int]:
+        """A cheap snapshot of the join state, for span tags and logs:
+        tuples retrieved, completions, partial buckets still pending and
+        live seen-mask groups (the §IV-B bound's granularity)."""
+        return {
+            "tuples_retrieved": self.tuples_retrieved,
+            "completed": len(self.completed),
+            "pending": len(self._bucket),
+            "groups": len(self._group_count),
+        }
+
+    # ------------------------------------------------------------------
     # thresholds
     # ------------------------------------------------------------------
 

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..index.columnar import ColumnarIndex, ColumnarPostings
 from ..index.scored import ColumnCursor, ScoredPostings
+from ..obs.tracing import NULL_TRACER
 from ..planner.plans import JoinPlanner
 from ..scoring.ranking import RankingModel
 from .base import (ELCA, SLCA, ExecutionStats, SearchResult, TopKResult,
@@ -82,11 +83,13 @@ class TopKKeywordSearch:
 
     def __init__(self, index: ColumnarIndex, bound_mode: str = GROUP,
                  eraser_mode: str = "bitmap",
-                 planner: Optional[JoinPlanner] = None):
+                 planner: Optional[JoinPlanner] = None,
+                 tracer=None):
         self.index = index
         self.bound_mode = bound_mode
         self.eraser_mode = eraser_mode
         self.planner = planner if planner is not None else JoinPlanner()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.ranking: RankingModel = index.ranking
 
     def search(self, terms: Sequence[str], k: int,
@@ -110,6 +113,11 @@ class TopKKeywordSearch:
             if len(emitted) >= k:
                 break
         generator.close()
+        with self.tracer.span("topk_termination") as tspan:
+            tspan.tag(k=k, emitted=len(emitted),
+                      terminated_early=not state.finished,
+                      levels_processed=stats.levels_processed,
+                      tuples_scanned=stats.tuples_scanned)
         return TopKResult(emitted, stats,
                           terminated_early=not state.finished)
 
@@ -126,6 +134,7 @@ class TopKKeywordSearch:
         `search(..., k)`.
         """
         check_semantics(semantics)
+        tracer = self.tracer
         if stats is None:
             stats = ExecutionStats()
         state = _state if _state is not None else _StreamState()
@@ -133,7 +142,9 @@ class TopKKeywordSearch:
         if not terms:
             state.finished = True
             return
-        postings = self.index.query_postings(terms)
+        with tracer.span("postings_fetch", terms=list(terms)) as pspan:
+            postings = self.index.query_postings(terms)
+            pspan.tag(list_sizes=[len(p) for p in postings])
         if any(len(p) == 0 for p in postings):
             state.finished = True
             return
@@ -159,6 +170,7 @@ class TopKKeywordSearch:
                     yield heapq.heappop(buffer)[2]
                 continue
             stats.levels_processed += 1
+            tuples_mark = stats.tuples_scanned
             inputs = [
                 _CursorInput(s.cursor(level, skip=e.is_erased))
                 for s, e in zip(scored, erasers)
@@ -172,35 +184,40 @@ class TopKKeywordSearch:
             # Emission needs a *fresh* threshold (group partials can push
             # it up), so attempts happen when completions arrive or every
             # few retrievals -- skipping attempts only delays emission,
-            # never corrupts it.
+            # never corrupts it.  The rank-join span stays open across
+            # `yield`s, so its duration includes consumer time when the
+            # stream is driven incrementally.
             steps_since_attempt = 0
-            while join.step():
-                steps_since_attempt += 1
-                if (len(join.completed) == consumed
-                        and steps_since_attempt < 16):
-                    continue
-                steps_since_attempt = 0
+            with tracer.span("rank_join", level=level) as jspan:
+                while join.step():
+                    steps_since_attempt += 1
+                    if (len(join.completed) == consumed
+                            and steps_since_attempt < 16):
+                        continue
+                    steps_since_attempt = 0
+                    for completed in join.completed[consumed:]:
+                        result = self._materialize(
+                            completed, level, postings, columns, erasers,
+                            semantics, caller_slot)
+                        if result is not None:
+                            heapq.heappush(
+                                buffer,
+                                (-result.score, result.node.dewey, result))
+                    consumed = len(join.completed)
+                    bound = max(join.threshold(), below)
+                    while buffer and -buffer[0][0] >= bound:
+                        stats.results_emitted += 1
+                        yield heapq.heappop(buffer)[2]
                 for completed in join.completed[consumed:]:
-                    result = self._materialize(
-                        completed, level, postings, columns, erasers,
-                        semantics, caller_slot)
+                    result = self._materialize(completed, level, postings,
+                                               columns, erasers, semantics,
+                                               caller_slot)
                     if result is not None:
-                        heapq.heappush(
-                            buffer,
-                            (-result.score, result.node.dewey, result))
-                consumed = len(join.completed)
-                bound = max(join.threshold(), below)
-                while buffer and -buffer[0][0] >= bound:
-                    stats.results_emitted += 1
-                    yield heapq.heappop(buffer)[2]
-            for completed in join.completed[consumed:]:
-                result = self._materialize(completed, level, postings,
-                                           columns, erasers, semantics,
-                                           caller_slot)
-                if result is not None:
-                    heapq.heappush(buffer,
-                                   (-result.score, result.node.dewey,
-                                    result))
+                        heapq.heappush(buffer,
+                                       (-result.score, result.node.dewey,
+                                        result))
+                jspan.tag(tuples=stats.tuples_scanned - tuples_mark,
+                          **join.progress())
             # Level drained: determine every C-node (erased occurrences
             # included) and erase their ranges for the levels above.
             self._erase_level(columns, erasers, stats, level)
@@ -283,18 +300,27 @@ class TopKKeywordSearch:
 
     def _erase_level(self, columns, erasers, stats: ExecutionStats,
                      level: int) -> None:
-        joined = self.planner.intersect_all(
-            [c.distinct for c in columns], stats, level)
-        if len(joined) == 0:
-            return
-        for t, column in enumerate(columns):
-            idx = np.searchsorted(column.distinct, joined)
-            lows = column.run_starts[idx]
-            highs = column.run_starts[idx + 1]
-            for j in range(len(joined)):
-                ordinals = column.seq_idx[int(lows[j]):int(highs[j])]
-                erasers[t].mark(int(ordinals[0]), int(ordinals[-1]) + 1)
-                stats.erasures += len(ordinals)
+        plan_mark = len(stats.per_level_plan)
+        erasure_mark = stats.erasures
+        with self.tracer.span("erase", level=level) as espan:
+            joined = self.planner.intersect_all(
+                [c.distinct for c in columns], stats, level)
+            espan.tag(
+                plan=[alg for _lvl, alg
+                      in stats.per_level_plan[plan_mark:]],
+                inputs=[int(c.n_distinct) for c in columns],
+                output=int(len(joined)))
+            if len(joined) == 0:
+                return
+            for t, column in enumerate(columns):
+                idx = np.searchsorted(column.distinct, joined)
+                lows = column.run_starts[idx]
+                highs = column.run_starts[idx + 1]
+                for j in range(len(joined)):
+                    ordinals = column.seq_idx[int(lows[j]):int(highs[j])]
+                    erasers[t].mark(int(ordinals[0]), int(ordinals[-1]) + 1)
+                    stats.erasures += len(ordinals)
+            espan.tag(erased=stats.erasures - erasure_mark)
 
     @staticmethod
     def _flush(buffer, emitted: List[SearchResult], k: int,

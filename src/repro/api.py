@@ -16,11 +16,15 @@ a single stack-based query does not pay for the columnar index.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .algorithms.base import (ELCA, EmptyResultError, ExecutionStats,
                               SearchResult, TopKResult, check_semantics,
                               sort_by_score)
+from .obs.metrics import MetricsRegistry, get_registry
+from .obs.slowlog import SlowQueryLog
+from .obs.tracing import NULL_TRACER, Span, Tracer
 from .algorithms.hybrid import HybridTopKSearch
 from .algorithms.index_based import IndexBasedSearch
 from .algorithms.join_based import JoinBasedSearch
@@ -40,6 +44,30 @@ from .xmltree.tree import XMLTree
 
 ALGORITHMS = ("join", "stack", "index", "oracle")
 TOPK_ALGORITHMS = ("topk-join", "rdil", "hybrid", "join")
+
+
+class BatchResult(list):
+    """The list returned by `XMLDatabase.search_batch`, plus aggregates.
+
+    Behaves exactly like the plain list of per-query entries (results
+    lists, or ``(results, stats)`` pairs with ``with_stats=True``) so
+    existing callers are untouched, and additionally carries the
+    batch-level summary so nobody folds stats by hand:
+
+    * ``summary`` -- every per-query `ExecutionStats` merged (counters
+      added, ``per_level_plan`` concatenated in completion order);
+    * ``latencies_ms`` -- per-query wall times, same order as entries;
+    * ``elapsed_ms`` -- wall time of the whole batch (wall clock, not
+      the sum: with ``threads`` > 1 it is smaller than the sum).
+    """
+
+    summary: ExecutionStats
+    latencies_ms: List[float]
+    elapsed_ms: float
+
+    @property
+    def n_queries(self) -> int:
+        return len(self)
 
 
 class Query:
@@ -77,6 +105,13 @@ class XMLDatabase:
     `refresh` calls).  Size the caches with ``postings_cache_size`` /
     ``result_cache_size`` (0 disables storage) or pass a shared
     `QueryCache` via ``cache``.
+
+    Observability (`repro.obs`): every query publishes latency and work
+    counters into ``metrics`` (the process-wide registry by default);
+    pass a live `Tracer` as ``tracer`` to record per-query span trees
+    (the default `NullTracer` keeps the hot path unchanged); pass
+    ``slow_log`` (or just ``slow_query_ms``) to capture query, stats
+    and trace of every over-threshold outlier.
     """
 
     def __init__(self, tree: XMLTree, tokenizer: Optional[Tokenizer] = None,
@@ -84,15 +119,26 @@ class XMLDatabase:
                  jdewey_gap: int = 0,
                  cache: Optional[QueryCache] = None,
                  postings_cache_size: int = 256,
-                 result_cache_size: int = 1024):
+                 result_cache_size: int = 1024,
+                 tracer=None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 slow_log: Optional[SlowQueryLog] = None,
+                 slow_query_ms: Optional[float] = None):
         if not tree.frozen:
             tree.freeze()
         self.tree = tree
         self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
         self.ranking = ranking if ranking is not None else RankingModel()
         self.encoder = JDeweyEncoder(tree, gap=jdewey_gap)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else get_registry()
+        if slow_log is None and slow_query_ms is not None:
+            slow_log = SlowQueryLog(threshold_ms=slow_query_ms)
+        self.slow_log = slow_log
         self.cache = cache if cache is not None else QueryCache(
             postings_cache_size, result_cache_size)
+        if self.cache.metrics is None:
+            self.cache.bind_metrics(self.metrics)
         self._columnar: Optional[ColumnarIndex] = None
         self._inverted: Optional[InvertedIndex] = None
 
@@ -193,19 +239,31 @@ class XMLDatabase:
         bypasses the cache so the requested plan actually runs).
         """
         check_semantics(semantics)
-        terms = self._terms(query)
-        if strict:
-            self._check_terms_exist(terms)
-        cacheable = use_cache and planner is None
-        key = result_key(terms, semantics, algorithm, None)
-        if cacheable:
-            cached = self.cache.get_results(key)
-            if cached is not None:
-                return cached
-        results, _stats = self._complete_results(terms, semantics, algorithm,
-                                                 planner)
-        if cacheable:
-            self.cache.put_results(key, results)
+        tracer = self.tracer
+        start = time.perf_counter()
+        stats: Optional[ExecutionStats] = None
+        with tracer.span("query", op="search", semantics=semantics,
+                         algorithm=algorithm) as qspan:
+            with tracer.span("parse"):
+                terms = self._terms(query)
+            qspan.tag(terms=list(terms))
+            if strict:
+                self._check_terms_exist(terms)
+            cacheable = use_cache and planner is None
+            key = result_key(terms, semantics, algorithm, None)
+            results: Optional[List[SearchResult]] = None
+            if cacheable:
+                with tracer.span("cache_lookup") as cspan:
+                    results = self.cache.get_results(key)
+                    cspan.tag(hit=results is not None)
+            if results is None:
+                results, stats = self._complete_results(terms, semantics,
+                                                        algorithm, planner)
+                if cacheable:
+                    self.cache.put_results(key, results)
+        self._record_query("search", terms, semantics, algorithm, None,
+                           (time.perf_counter() - start) * 1000.0, stats,
+                           qspan if tracer.enabled else None)
         return results
 
     def _complete_results(self, terms: List[str], semantics: str,
@@ -216,7 +274,8 @@ class XMLDatabase:
         `search_batch`."""
         if algorithm == "join":
             engine = JoinBasedSearch(self.columnar_index, planner,
-                                     postings_cache=self.cache)
+                                     postings_cache=self.cache,
+                                     tracer=self.tracer)
             return engine.evaluate(terms, semantics)
         if algorithm == "stack":
             return StackBasedSearch(self.inverted_index).evaluate(
@@ -248,17 +307,28 @@ class XMLDatabase:
         truncate -- the "general join-based" line of Figure 10).
         """
         check_semantics(semantics)
-        terms = self._terms(query)
-        if strict:
-            self._check_terms_exist(terms)
-        return self._topk_result(terms, semantics, algorithm, k)
+        tracer = self.tracer
+        start = time.perf_counter()
+        with tracer.span("query", op="topk", semantics=semantics,
+                         algorithm=algorithm, k=k) as qspan:
+            with tracer.span("parse"):
+                terms = self._terms(query)
+            qspan.tag(terms=list(terms))
+            if strict:
+                self._check_terms_exist(terms)
+            top = self._topk_result(terms, semantics, algorithm, k)
+        self._record_query("topk", terms, semantics, algorithm, k,
+                           (time.perf_counter() - start) * 1000.0,
+                           top.stats, qspan if tracer.enabled else None)
+        return top
 
     def _topk_result(self, terms: List[str], semantics: str, algorithm: str,
                      k: int) -> TopKResult:
         """Uncached top-K dispatch shared by `search_topk` and
         `search_batch`."""
         if algorithm == "topk-join":
-            return TopKKeywordSearch(self.columnar_index).search(
+            return TopKKeywordSearch(self.columnar_index,
+                                     tracer=self.tracer).search(
                 terms, k, semantics)
         if algorithm == "rdil":
             return RDILSearch(self.inverted_index).search(terms, k, semantics)
@@ -267,7 +337,8 @@ class XMLDatabase:
                 terms, k, semantics)
         if algorithm == "join":
             engine = JoinBasedSearch(self.columnar_index,
-                                     postings_cache=self.cache)
+                                     postings_cache=self.cache,
+                                     tracer=self.tracer)
             results, stats = engine.evaluate(terms, semantics)
             return TopKResult(sort_by_score(results)[:k], stats)
         raise ValueError(
@@ -296,32 +367,60 @@ class XMLDatabase:
         pairs; a repeated query is served from the result cache
         (``stats.cache_hits == 1``) and skips level evaluation entirely
         (``stats.levels_processed == 0``).
+
+        The returned list is a `BatchResult`: it additionally carries
+        ``summary`` (every per-query `ExecutionStats` merged, cache
+        counters included), ``latencies_ms`` and ``elapsed_ms``, so
+        callers never fold stats by hand.  The batch also publishes into
+        the metrics registry: ``repro_batch_queries_total``,
+        ``repro_batch_queue_depth`` (queries accepted but not yet
+        finished) and per-query ``repro_query_latency_ms{op=batch}``.
         """
         check_semantics(semantics)
         if algorithm is None:
             algorithm = "join" if k is None else "topk-join"
+        tracer = self.tracer
+        queue_depth = self.metrics.gauge("repro_batch_queue_depth")
+        batch_start = time.perf_counter()
 
-        def one(query) -> Tuple[List[SearchResult], ExecutionStats]:
-            terms = self._terms(query)
-            key = result_key(terms, semantics, algorithm, k)
-            if use_cache:
-                cached = self.cache.get_results(key)
-                if cached is not None:
-                    return cached, ExecutionStats(cache_hits=1)
-            if k is None:
-                results, stats = self._complete_results(terms, semantics,
-                                                        algorithm)
-            else:
-                top = self._topk_result(terms, semantics, algorithm, k)
-                results, stats = list(top.results), top.stats
-            if use_cache:
-                before = self.cache.results.stats.evictions
-                self.cache.put_results(key, results)
-                stats.cache_misses += 1
-                stats.cache_evictions += \
-                    self.cache.results.stats.evictions - before
-            return results, stats
+        def one(query) -> Tuple[List[SearchResult], ExecutionStats, float]:
+            start = time.perf_counter()
+            with tracer.span("query", op="batch", semantics=semantics,
+                             algorithm=algorithm, k=k) as qspan:
+                with tracer.span("parse"):
+                    terms = self._terms(query)
+                qspan.tag(terms=list(terms))
+                results: Optional[List[SearchResult]] = None
+                stats = ExecutionStats()
+                key = result_key(terms, semantics, algorithm, k)
+                if use_cache:
+                    with tracer.span("cache_lookup") as cspan:
+                        results = self.cache.get_results(key)
+                        cspan.tag(hit=results is not None)
+                    if results is not None:
+                        stats.cache_hits = 1
+                if results is None:
+                    if k is None:
+                        results, stats = self._complete_results(
+                            terms, semantics, algorithm)
+                    else:
+                        top = self._topk_result(terms, semantics,
+                                                algorithm, k)
+                        results, stats = list(top.results), top.stats
+                    if use_cache:
+                        before = self.cache.results.stats.evictions
+                        self.cache.put_results(key, results)
+                        stats.cache_misses += 1
+                        stats.cache_evictions += \
+                            self.cache.results.stats.evictions - before
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            queue_depth.dec()
+            self._record_query("batch", terms, semantics, algorithm, k,
+                               elapsed_ms, stats,
+                               qspan if tracer.enabled else None)
+            return results, stats, elapsed_ms
 
+        queue_depth.inc(len(queries))
         if threads is not None and threads > 1:
             from concurrent.futures import ThreadPoolExecutor
 
@@ -332,12 +431,25 @@ class XMLDatabase:
             if algorithm in ("stack", "index", "oracle", "rdil"):
                 self.inverted_index
             with ThreadPoolExecutor(max_workers=threads) as pool:
-                pairs = list(pool.map(one, queries))
+                triples = list(pool.map(one, queries))
         else:
-            pairs = [one(query) for query in queries]
+            triples = [one(query) for query in queries]
+
+        summary = ExecutionStats()
+        for _results, stats, _ms in triples:
+            summary.merge(stats)
         if with_stats:
-            return pairs
-        return [results for results, _stats in pairs]
+            batch = BatchResult((results, stats)
+                                for results, stats, _ms in triples)
+        else:
+            batch = BatchResult(results for results, _stats, _ms in triples)
+        batch.summary = summary
+        batch.latencies_ms = [ms for _results, _stats, ms in triples]
+        batch.elapsed_ms = (time.perf_counter() - batch_start) * 1000.0
+        self.metrics.counter("repro_batch_queries_total").inc(len(queries))
+        self.metrics.histogram("repro_batch_latency_ms").observe(
+            batch.elapsed_ms)
+        return batch
 
     def search_stream(self, query: Union[str, Sequence[str], Query],
                       semantics: str = ELCA):
@@ -347,22 +459,32 @@ class XMLDatabase:
         enough to prove one more result safe; abandoning the generator
         abandons the remaining work.
         """
-        return TopKKeywordSearch(self.columnar_index).stream(
+        return TopKKeywordSearch(self.columnar_index,
+                                 tracer=self.tracer).stream(
             self._terms(query), semantics)
 
     def explain(self, query: Union[str, Sequence[str], Query],
                 semantics: str = ELCA,
-                planner: Optional[JoinPlanner] = None):
+                planner: Optional[JoinPlanner] = None,
+                trace: bool = False):
         """Per-level trace of the join-based evaluation (a `QueryPlan`).
 
         Shows the dynamic optimization at work: column sizes,
         cardinality estimates and the merge/index join chosen at each
-        level (paper section III-C).
+        level (paper section III-C).  With ``trace=True`` (or when the
+        database runs with a live tracer) the plan also carries the
+        span tree of the evaluation (``plan.trace``), rendered by
+        ``plan.format()``.
         """
         from .algorithms.explain import explain as _explain
 
+        tracer = None
+        if trace:
+            tracer = Tracer()
+        elif self.tracer.enabled:
+            tracer = self.tracer
         return _explain(self.columnar_index, self._terms(query), semantics,
-                        planner)
+                        planner, tracer=tracer)
 
     def _terms(self, query: Union[str, Sequence[str], Query]) -> List[str]:
         if isinstance(query, Query):
@@ -377,12 +499,45 @@ class XMLDatabase:
                 f"query terms with no occurrences: {missing}")
 
     # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+
+    def _record_query(self, op: str, terms: List[str], semantics: str,
+                      algorithm: str, k: Optional[int], elapsed_ms: float,
+                      stats: Optional[ExecutionStats],
+                      trace_root: Optional[Span]) -> None:
+        """Publish one finished query into metrics and the slow log."""
+        metrics = self.metrics
+        metrics.counter("repro_queries_total", {"op": op}).inc()
+        metrics.histogram("repro_query_latency_ms",
+                          {"op": op}).observe(elapsed_ms)
+        if stats is not None:
+            if stats.merge_joins:
+                metrics.counter("repro_level_joins_total",
+                                {"algorithm": "merge"}).inc(
+                    stats.merge_joins)
+            if stats.index_joins:
+                metrics.counter("repro_level_joins_total",
+                                {"algorithm": "index"}).inc(
+                    stats.index_joins)
+        if self.slow_log is not None:
+            self.slow_log.maybe_record(
+                elapsed_ms, terms, semantics, algorithm, k,
+                stats.as_dict() if stats is not None else None, trace_root)
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
         """Hit/miss/eviction counters of the postings and result caches."""
         return self.cache.stats()
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """`MetricsRegistry.snapshot` of the registry this database
+        publishes into (query latency percentiles, per-level join
+        counts, cache hit ratios, batch gauges, ...)."""
+        return self.metrics.snapshot()
 
     def document_frequency(self, term: str) -> int:
         return self.inverted_index.document_frequency(term.lower())

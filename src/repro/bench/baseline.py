@@ -16,6 +16,7 @@ Schema (``repro.bench.hotpath/v1``)::
       "config": {"scale", "n_papers", "high_freq", "repeats"},
       "workload": {"queries": [[term, ...], ...], "semantics": "elca"},
       "ops": {"<op>": {"p50_ms": float, "p95_ms": float, "repeats": int}},
+      "metrics": {...},               # MetricsRegistry.snapshot() of the run
       "speedups": {"<pair>": float}   # scalar p50 / vectorized p50
     }
 
@@ -37,6 +38,7 @@ import numpy as np
 
 from ..algorithms.erasure import make_eraser
 from ..algorithms.join_based import JoinBasedSearch
+from ..obs.metrics import get_registry
 from .harness import BenchConfig, Workbench
 
 SCHEMA = "repro.bench.hotpath/v1"
@@ -85,7 +87,13 @@ def _erasure_fixture(seed: int = 5, size: int = 200_000, n_marks: int = 800,
 
 def hotpath_report(bench: Workbench, repeats: int = 5,
                    scale_label: str = "full") -> Dict:
-    """Measure every hot-path op pair and return the report dict."""
+    """Measure every hot-path op pair and return the report dict.
+
+    The process metrics registry is reset first, so the report's
+    ``metrics`` key is a snapshot of exactly this run's query serving
+    (latency histograms, cache hit ratios, join counters).
+    """
+    get_registry().reset()
     db = bench.dblp
     queries = _fig9_high_pair(bench)
     specs = [spec for spec in bench.builder.frequency_sweep(2)
@@ -162,6 +170,7 @@ def hotpath_report(bench: Workbench, repeats: int = 5,
         },
         "workload": {"queries": queries, "semantics": "elca"},
         "ops": ops,
+        "metrics": get_registry().snapshot(),
         "speedups": {
             "level_loop": scalar_p50 / vector_p50,
             "erased_counts": counts_scalar_p50 / counts_bulk_p50,

@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..algorithms.base import sort_by_score
+from ..algorithms.base import ExecutionStats, sort_by_score
 from ..algorithms.join_based import JoinBasedSearch
 from ..api import XMLDatabase
 from ..datagen.dblp import DBLPGenerator
@@ -357,17 +357,17 @@ def ablation_join_policy_rows(bench: Workbench, repeats: int = 3
             engine = JoinBasedSearch(db.columnar_index, JoinPlanner(policy))
 
             def run():
-                scanned = lookups = 0
+                folded = ExecutionStats()
                 for spec in queries:
                     _, stats = engine.evaluate(list(spec.terms), "elca",
                                                with_scores=False)
-                    scanned += stats.tuples_scanned
-                    lookups += stats.lookups
-                return scanned, lookups
+                    folded.merge(stats)
+                return folded
 
             ms = timed(run, repeats) / len(queries)
-            scanned, lookups = run()
-            rows.append((low, policy, ms, scanned, lookups))
+            folded = run()
+            rows.append((low, policy, ms, folded.tuples_scanned,
+                         folded.lookups))
     return rows
 
 

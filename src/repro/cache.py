@@ -106,12 +106,51 @@ class QueryCache:
         Max distinct terms whose postings stay resident (LRU).
     result_capacity:
         Max cached query results (LRU over `result_key` entries).
+    metrics:
+        Optional `repro.obs.MetricsRegistry`; when given, every lookup
+        publishes ``repro_cache_requests_total{cache=..., outcome=...}``
+        counters next to the local `CacheStats`, so a process-wide
+        snapshot sees the hit ratio without holding the cache object.
     """
 
     def __init__(self, postings_capacity: int = 256,
-                 result_capacity: int = 1024):
+                 result_capacity: int = 1024,
+                 metrics=None):
         self.postings = LRUCache(postings_capacity)
         self.results = LRUCache(result_capacity)
+        self.metrics = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics) -> None:
+        """Publish lookup counters into `metrics` from now on."""
+        self.metrics = metrics
+        self._postings_hit = metrics.counter(
+            "repro_cache_requests_total",
+            {"cache": "postings", "outcome": "hit"})
+        self._postings_miss = metrics.counter(
+            "repro_cache_requests_total",
+            {"cache": "postings", "outcome": "miss"})
+        self._results_hit = metrics.counter(
+            "repro_cache_requests_total",
+            {"cache": "results", "outcome": "hit"})
+        self._results_miss = metrics.counter(
+            "repro_cache_requests_total",
+            {"cache": "results", "outcome": "miss"})
+        metrics.gauge("repro_cache_hit_ratio",
+                      {"cache": "results"}).set_fn(self.result_hit_ratio)
+        metrics.gauge("repro_cache_hit_ratio",
+                      {"cache": "postings"}).set_fn(self.postings_hit_ratio)
+
+    def result_hit_ratio(self) -> float:
+        stats = self.results.stats
+        total = stats.hits + stats.misses
+        return stats.hits / total if total else 0.0
+
+    def postings_hit_ratio(self) -> float:
+        stats = self.postings.stats
+        total = stats.hits + stats.misses
+        return stats.hits / total if total else 0.0
 
     def query_postings(self, index, terms: Sequence[str]) -> List:
         """`ColumnarIndex.query_postings` through the postings LRU.
@@ -124,8 +163,12 @@ class QueryCache:
         for term in terms:
             cached = self.postings.get(term, _MISSING)
             if cached is _MISSING:
+                if self.metrics is not None:
+                    self._postings_miss.inc()
                 cached = index.term_postings(term)
                 self.postings.put(term, cached)
+            elif self.metrics is not None:
+                self._postings_hit.inc()
             postings.append(cached)
         postings.sort(key=len)
         return postings
@@ -134,7 +177,11 @@ class QueryCache:
         """Cached result list for `key`, copied, or ``None`` on miss."""
         cached = self.results.get(key, _MISSING)
         if cached is _MISSING:
+            if self.metrics is not None:
+                self._results_miss.inc()
             return None
+        if self.metrics is not None:
+            self._results_hit.inc()
         return list(cached)
 
     def put_results(self, key: ResultKey, results: Sequence) -> None:

@@ -7,6 +7,7 @@
     python -m repro search mydb/ "xml data" --semantics slca
     python -m repro topk mydb/ "xml keyword search" -k 10
     python -m repro info mydb/
+    python -m repro trace mydb/ "xml data" --out trace.jsonl
     python -m repro bench --small
 
 `search`/`topk`/`info` accept either a saved database directory or a
@@ -115,8 +116,51 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_explain(args: argparse.Namespace) -> int:
     db = _load(args.database)
-    plan = db.explain(args.query, semantics=args.semantics)
+    plan = db.explain(args.query, semantics=args.semantics,
+                      trace=args.trace)
     print(plan.format())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import Tracer, render_trace, trace_to_jsonl
+
+    db = _load(args.database)
+    tracer = Tracer()
+    db.tracer = tracer
+    if args.slow_ms is not None:
+        from .obs import SlowQueryLog
+
+        db.slow_log = SlowQueryLog(threshold_ms=args.slow_ms)
+    start = time.perf_counter()
+    if args.k is not None:
+        results = list(db.search_topk(args.query, args.k,
+                                      semantics=args.semantics))
+    else:
+        results = db.search(args.query, semantics=args.semantics,
+                            use_cache=False)
+    elapsed = (time.perf_counter() - start) * 1000
+    root = tracer.last_root()
+    print(render_trace(root))
+    print(f"({len(results)} results in {elapsed:.1f} ms)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(trace_to_jsonl(tracer.roots()))
+        print(f"trace written to {args.out}")
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(db.metrics_snapshot(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"metrics snapshot written to {args.metrics_out}")
+    if args.prometheus:
+        print(db.metrics.render_prometheus(), end="")
+    if db.slow_log is not None and len(db.slow_log):
+        record = db.slow_log.records()[-1]
+        print(f"slow query (>= {db.slow_log.threshold_ms:.0f} ms): "
+              f"{' '.join(record.terms)} took {record.elapsed_ms:.1f} ms")
     return 0
 
 
@@ -180,7 +224,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query")
     p.add_argument("--semantics", choices=("elca", "slca"),
                    default="elca")
+    p.add_argument("--trace", action="store_true",
+                   help="attach the span tree of the evaluation")
     p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("trace",
+                       help="run one traced query; print the span tree")
+    p.add_argument("database")
+    p.add_argument("query")
+    p.add_argument("-k", type=int, default=None,
+                   help="trace a top-K search instead of a complete one")
+    p.add_argument("--semantics", choices=("elca", "slca"),
+                   default="elca")
+    p.add_argument("--out", default=None,
+                   help="write the span tree as JSONL to this file")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the metrics snapshot as JSON to this file")
+    p.add_argument("--prometheus", action="store_true",
+                   help="print the Prometheus text exposition")
+    p.add_argument("--slow-ms", type=float, default=None,
+                   help="slow-query threshold; report if exceeded")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("bench",
                        help="regenerate the paper's tables and figures")

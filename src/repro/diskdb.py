@@ -27,6 +27,7 @@ from typing import Optional
 
 from .api import XMLDatabase
 from .index import storage
+from .obs.metrics import get_registry
 from .index.columnar import ColumnarIndex
 from .index.inverted import InvertedIndex
 from .index.tokenizer import Tokenizer
@@ -49,7 +50,11 @@ def save_database(db: XMLDatabase, path: str) -> None:
     """Write `db` (document + both indexes) to directory `path`.
 
     Builds any index not yet built; existing files are overwritten.
+    Bytes written are published as
+    ``repro_disk_bytes_written_total`` in the process metrics registry.
     """
+    metrics = get_registry()
+    bytes_written = metrics.counter("repro_disk_bytes_written_total")
     os.makedirs(path, exist_ok=True)
     meta = {
         "format_version": FORMAT_VERSION,
@@ -62,32 +67,43 @@ def save_database(db: XMLDatabase, path: str) -> None:
         },
         "n_nodes": len(db.tree),
     }
+    document = db.tree.to_xml()
     with open(os.path.join(path, _DOCUMENT), "w", encoding="utf-8") as f:
-        f.write(db.tree.to_xml())
+        f.write(document)
+    bytes_written.inc(len(document.encode("utf-8")))
+    columnar_blob = storage.serialize_columnar_index(
+        db.columnar_index, score_mode=storage.SCORES_EXACT)
     with open(os.path.join(path, _COLUMNAR), "wb") as f:
-        f.write(storage.serialize_columnar_index(
-            db.columnar_index, score_mode=storage.SCORES_EXACT))
+        f.write(columnar_blob)
+    dewey_blob = storage.serialize_inverted_index(
+        db.inverted_index, score_mode=storage.SCORES_EXACT)
     with open(os.path.join(path, _DEWEY), "wb") as f:
-        f.write(storage.serialize_inverted_index(
-            db.inverted_index, score_mode=storage.SCORES_EXACT))
+        f.write(dewey_blob)
+    bytes_written.inc(len(columnar_blob) + len(dewey_blob))
     # Metadata last: its presence marks a complete save.
     with open(os.path.join(path, _META), "w", encoding="utf-8") as f:
         json.dump(meta, f, indent=2, sort_keys=True)
+    metrics.counter("repro_db_saves_total").inc()
 
 
 def load_database(path: str,
                   ranking: Optional[RankingModel] = None,
                   cache=None,
                   postings_cache_size: int = 256,
-                  result_cache_size: int = 1024) -> XMLDatabase:
+                  result_cache_size: int = 1024,
+                  **db_kwargs) -> XMLDatabase:
     """Open a directory written by `save_database`.
 
-    ``cache`` / ``postings_cache_size`` / ``result_cache_size`` are
-    forwarded to the `XMLDatabase` constructor.
+    ``cache`` / ``postings_cache_size`` / ``result_cache_size`` and any
+    extra keyword arguments (``tracer``, ``metrics``, ``slow_log``, ...)
+    are forwarded to the `XMLDatabase` constructor.  Bytes read are
+    published as ``repro_disk_bytes_read_total``.
 
     Raises `DatabaseFormatError` on missing files, version mismatch, or
     a document that no longer matches the stored indexes.
     """
+    metrics = get_registry()
+    bytes_read = metrics.counter("repro_disk_bytes_read_total")
     meta_path = os.path.join(path, _META)
     if not os.path.exists(meta_path):
         raise DatabaseFormatError(f"{path!r} has no {_META} "
@@ -100,7 +116,9 @@ def load_database(path: str,
             f"(expected {FORMAT_VERSION})")
 
     with open(os.path.join(path, _DOCUMENT), "r", encoding="utf-8") as f:
-        tree = parse_xml(f.read())
+        document = f.read()
+    bytes_read.inc(len(document.encode("utf-8")))
+    tree = parse_xml(document)
     if len(tree) != meta["n_nodes"]:
         raise DatabaseFormatError(
             f"document has {len(tree)} nodes, metadata says "
@@ -114,17 +132,22 @@ def load_database(path: str,
     db = XMLDatabase(tree, tokenizer=tokenizer, ranking=ranking,
                      jdewey_gap=meta["jdewey_gap"], cache=cache,
                      postings_cache_size=postings_cache_size,
-                     result_cache_size=result_cache_size)
+                     result_cache_size=result_cache_size,
+                     **db_kwargs)
 
     with open(os.path.join(path, _COLUMNAR), "rb") as f:
-        columnar_postings = storage.deserialize_columnar_index(f.read())
+        columnar_blob = f.read()
     with open(os.path.join(path, _DEWEY), "rb") as f:
-        dewey_lists = storage.deserialize_inverted_index(f.read())
+        dewey_blob = f.read()
+    bytes_read.inc(len(columnar_blob) + len(dewey_blob))
+    columnar_postings = storage.deserialize_columnar_index(columnar_blob)
+    dewey_lists = storage.deserialize_inverted_index(dewey_blob)
     db._columnar = ColumnarIndex.from_postings(
         tree, columnar_postings, tokenizer, ranking, meta["n_docs"])
     db._inverted = InvertedIndex.from_lists(
         tree, dewey_lists, tokenizer, ranking, meta["n_docs"])
     _verify_consistency(db)
+    metrics.counter("repro_db_loads_total").inc()
     return db
 
 

@@ -1,0 +1,40 @@
+"""Observability: span tracing, metrics registry and the slow-query log.
+
+Three independent instruments threaded through the query pipeline:
+
+* `tracing` -- `Tracer`/`Span` context managers recording where time
+  goes inside one query (parse, postings fetch, per-level joins tagged
+  with the section III-C plan choice, erasure, scoring, top-K
+  termination), with a text tree renderer and JSONL export;
+* `metrics` -- a process-wide `MetricsRegistry` of counters, gauges and
+  p50/p95/p99 histograms, with `snapshot()` and Prometheus exposition;
+* `slowlog` -- a bounded `SlowQueryLog` capturing query, stats and
+  trace of outliers.
+
+Everything defaults off (`NULL_TRACER`, no slow log) so the serving hot
+path is unchanged unless observability is asked for.
+"""
+
+from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, get_registry)
+from .slowlog import SlowQueryLog, SlowQueryRecord
+from .tracing import (NULL_TRACER, NullTracer, Span, Tracer, render_trace,
+                      spans_per_level_plan, trace_to_jsonl)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "render_trace",
+    "spans_per_level_plan",
+    "trace_to_jsonl",
+]

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.algorithms.explain import explain
+from repro.obs import Tracer, spans_per_level_plan
 from repro.planner.plans import JoinPlanner
 
 
@@ -66,10 +67,59 @@ class TestQueryPlan:
             explain(small_db.columnar_index, ["xml"], "nope")
 
 
+class TestTracedPlan:
+    def test_no_trace_by_default(self, small_db):
+        plan = explain(small_db.columnar_index, ["xml", "data"])
+        assert plan.trace is None
+        assert "trace:" not in plan.format()
+
+    def test_trace_attached_with_tracer(self, small_db):
+        tracer = Tracer()
+        plan = explain(small_db.columnar_index, ["xml", "data"],
+                       tracer=tracer)
+        assert plan.trace is not None
+        assert plan.trace.name == "query"
+        assert plan.trace.tags["op"] == "explain"
+        text = plan.format()
+        assert "trace:" in text
+        assert "postings_fetch" in text
+
+    def test_trace_plan_tags_match_stats(self, small_db):
+        plan = explain(small_db.columnar_index, ["xml", "data"],
+                       tracer=Tracer())
+        assert plan.stats.per_level_plan
+        assert spans_per_level_plan(plan.trace) == plan.stats.per_level_plan
+
+    def test_trace_agrees_with_level_plans(self, small_db):
+        """The span tags and the `LevelPlan.join_algorithms` rows are two
+        views of the same decisions."""
+        plan = explain(small_db.columnar_index, ["xml", "data"],
+                       tracer=Tracer())
+        from_spans = spans_per_level_plan(plan.trace)
+        for lp in plan.levels:
+            assert tuple(a for lvl, a in from_spans
+                         if lvl == lp.level) == lp.join_algorithms
+
+
 class TestAPIAndCLI:
     def test_database_explain(self, small_db):
         plan = small_db.explain("xml data")
         assert plan.terms == ("xml", "data")
+
+    def test_database_explain_trace_flag(self, small_db):
+        plan = small_db.explain("xml data", trace=True)
+        assert plan.trace is not None
+        assert spans_per_level_plan(plan.trace) == plan.stats.per_level_plan
+
+    def test_cli_explain_trace(self, tmp_path, capsys):
+        from repro.cli import main
+        from tests.conftest import SMALL_XML
+
+        path = tmp_path / "doc.xml"
+        path.write_text(SMALL_XML, encoding="utf-8")
+        assert main(["explain", str(path), "xml data", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
 
     def test_cli_explain(self, tmp_path, capsys):
         from repro.cli import main
