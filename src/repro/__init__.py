@@ -24,6 +24,10 @@ from .cache import CacheStats, LRUCache, QueryCache
 from .obs import (MetricsRegistry, NullTracer, SlowQueryLog, Tracer,
                   get_registry, render_trace, spans_per_level_plan,
                   trace_to_jsonl)
+from .reliability import (DatabaseCorruptError, DatabaseFormatError,
+                          Deadline, DeadlineExceeded, FaultInjector,
+                          InjectedFault, QueryBudget, RetryExhaustedError,
+                          RetryPolicy)
 from .xmltree import (Node, XMLTree, build_tree, parse_xml, parse_xml_file)
 
 __version__ = "1.0.0"
@@ -50,6 +54,15 @@ __all__ = [
     "render_trace",
     "spans_per_level_plan",
     "trace_to_jsonl",
+    "DatabaseCorruptError",
+    "DatabaseFormatError",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "InjectedFault",
+    "QueryBudget",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "Node",
     "XMLTree",
     "build_tree",

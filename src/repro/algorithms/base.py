@@ -96,20 +96,28 @@ class ExecutionStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    # Deadline bookkeeping (repro.reliability): a query stopped by an
+    # expired budget under the "partial" policy sets `partial` and
+    # counts the bottom-up levels it never reached in `levels_skipped`
+    # (the processed ones stay in `levels_processed`).
+    partial: bool = False
+    levels_skipped: int = 0
     per_level_plan: List[Tuple[int, str]] = field(default_factory=list)
 
     _COUNTER_FIELDS = (
         "levels_processed", "joins", "merge_joins", "index_joins",
         "tuples_scanned", "lookups", "candidates_checked",
         "results_emitted", "erasures", "threshold_checks", "cache_hits",
-        "cache_misses", "cache_evictions")
+        "cache_misses", "cache_evictions", "levels_skipped")
 
     def merge(self, other: "ExecutionStats") -> "ExecutionStats":
-        """Fold `other` into this object: counters add, the per-level
-        plan concatenates (plan order = fold order).  Returns self, so
+        """Fold `other` into this object: counters add, `partial` ORs
+        (a batch is partial if any member is), the per-level plan
+        concatenates (plan order = fold order).  Returns self, so
         ``sum`` / ``functools.reduce`` folds read naturally."""
         for name in self._COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.partial = self.partial or other.partial
         self.per_level_plan.extend(other.per_level_plan)
         return self
 
@@ -136,16 +144,27 @@ class ExecutionStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "partial": self.partial,
+            "levels_skipped": self.levels_skipped,
         }
 
 
 @dataclass
 class TopKResult:
-    """Result list of a top-K run plus its execution statistics."""
+    """Result list of a top-K run plus its execution statistics.
+
+    ``partial`` marks a run stopped by an expired `Deadline` under the
+    "partial" policy; its results are then a prefix of the unbounded
+    run's emission order, and ``bound`` is the guarantee gap: no result
+    the run did not return can score above it.  Complete runs leave
+    ``bound`` as ``None``.
+    """
 
     results: List[SearchResult]
     stats: ExecutionStats
     terminated_early: bool = False
+    partial: bool = False
+    bound: Optional[float] = None
 
     def __iter__(self):
         return iter(self.results)

@@ -46,6 +46,8 @@ import numpy as np
 from ..index.columnar import ColumnarIndex, ColumnarPostings
 from ..obs.tracing import NULL_TRACER
 from ..planner.plans import JoinPlanner
+from ..reliability.deadline import Deadline
+from ..reliability.errors import DeadlineExceeded
 from ..scoring.ranking import RankingModel
 from .base import (ELCA, SLCA, ExecutionStats, SearchResult, check_semantics,
                    sort_by_document_order)
@@ -94,13 +96,22 @@ class JoinBasedSearch:
         self.ranking: RankingModel = index.ranking
 
     def evaluate(self, terms: Sequence[str], semantics: str = ELCA,
-                 with_scores: bool = True, observer=None
+                 with_scores: bool = True, observer=None,
+                 deadline: Optional[Deadline] = None
                  ) -> Tuple[List[SearchResult], ExecutionStats]:
         """All results for `terms`, in document order, plus work counters.
 
         ``observer``, if given, is called per processed level as
         ``observer(level, columns, joined, emitted_at_level)`` -- the
         hook behind `repro.algorithms.explain`.
+
+        ``deadline`` (a `repro.reliability.Deadline`) is polled once per
+        level -- the cheap boundary of this bottom-up loop.  On expiry
+        the ``raise`` policy raises `DeadlineExceeded`; the ``partial``
+        policy stops cleanly and returns the results of the levels
+        already processed (a subset of the unbounded result set, since
+        same-level candidates never interact), with ``stats.partial``
+        set and the unvisited levels counted in ``stats.levels_skipped``.
         """
         check_semantics(semantics)
         tracer = self.tracer
@@ -128,68 +139,96 @@ class JoinBasedSearch:
         results: List[SearchResult] = []
 
         for level in range(start_level, 0, -1):
-            columns = [p.column(level) for p in postings]
-            if any(len(c) == 0 for c in columns):
-                continue
-            stats.levels_processed += 1
-            plan_mark = len(stats.per_level_plan)
-            with tracer.span("join", level=level) as jspan:
-                joined = self.planner.intersect_all(
-                    [c.distinct for c in columns], stats, level)
-                jspan.tag(
-                    plan=[alg for _lvl, alg
-                          in stats.per_level_plan[plan_mark:]],
-                    inputs=[int(c.n_distinct) for c in columns],
-                    output=int(len(joined)))
-            if len(joined) == 0:
-                if observer is not None:
-                    observer(level, columns, joined, 0)
-                continue
-            # Run boundaries of every joined value in every column, in bulk.
-            run_bounds = [column.runs_of(joined) for column in columns]
-            with tracer.span("score", level=level) as sspan:
-                if self.vectorized:
-                    emitted_at_level = self._check_level_vectorized(
-                        joined, level, postings, columns, run_bounds,
-                        erasers, semantics, with_scores, caller_slot,
-                        damping_base, stats, results)
-                else:
-                    emitted_at_level = 0
-                    for j, number in enumerate(joined):
-                        stats.candidates_checked += 1
-                        emitted = self._check_candidate(
-                            int(number), level, j, postings, columns,
-                            run_bounds, erasers, semantics, with_scores,
-                            caller_slot, damping_base)
-                        if emitted is not None:
-                            results.append(emitted)
-                            emitted_at_level += 1
-                            stats.results_emitted += 1
-                sspan.tag(candidates=int(len(joined)),
-                          emitted=emitted_at_level)
-            if observer is not None:
-                observer(level, columns, joined, emitted_at_level)
-            # Erase every joined range *after* the level is fully checked:
-            # same-level candidates never interact (disjoint subtrees).
-            erasure_mark = stats.erasures
-            with tracer.span("erase", level=level) as espan:
-                if self.vectorized:
-                    for t, column in enumerate(columns):
-                        lows, highs = run_bounds[t]
-                        lo_ords, hi_ords = column.ordinal_spans(lows, highs)
-                        erasers[t].mark_many(lo_ords, hi_ords)
-                        stats.erasures += int((highs - lows).sum())
-                else:
-                    for t, column in enumerate(columns):
-                        lows, highs = run_bounds[t]
-                        for j in range(len(joined)):
-                            a, b = int(lows[j]), int(highs[j])
-                            ordinals = column.seq_idx[a:b]
-                            erasers[t].mark(int(ordinals[0]),
-                                            int(ordinals[-1]) + 1)
-                            stats.erasures += b - a
-                espan.tag(erased=stats.erasures - erasure_mark)
+            if deadline is not None and deadline.expired():
+                if not deadline.partial_ok:
+                    deadline.raise_expired()
+                stats.partial = True
+                stats.levels_skipped += level
+                break
+            try:
+                self._process_level(level, postings, erasers, semantics,
+                                    with_scores, caller_slot, damping_base,
+                                    stats, results, observer, tracer)
+            except DeadlineExceeded:
+                # Raised mid-level by a lazy posting fetch polling the
+                # thread-local deadline; downgrade per policy.  Results
+                # emitted before the cut are individually valid (the
+                # ELCA/SLCA test only reads lower-level erasures), so
+                # keeping them preserves the subset guarantee.
+                if deadline is None or not deadline.partial_ok:
+                    raise
+                stats.partial = True
+                stats.levels_skipped += level
+                break
         return sort_by_document_order(results), stats
+
+    def _process_level(self, level: int, postings, erasers, semantics: str,
+                       with_scores: bool, caller_slot: List[int],
+                       damping_base: float, stats: ExecutionStats,
+                       results: List[SearchResult], observer,
+                       tracer) -> None:
+        """Join, check, score and erase one level of the bottom-up loop."""
+        columns = [p.column(level) for p in postings]
+        if any(len(c) == 0 for c in columns):
+            return
+        stats.levels_processed += 1
+        plan_mark = len(stats.per_level_plan)
+        with tracer.span("join", level=level) as jspan:
+            joined = self.planner.intersect_all(
+                [c.distinct for c in columns], stats, level)
+            jspan.tag(
+                plan=[alg for _lvl, alg
+                      in stats.per_level_plan[plan_mark:]],
+                inputs=[int(c.n_distinct) for c in columns],
+                output=int(len(joined)))
+        if len(joined) == 0:
+            if observer is not None:
+                observer(level, columns, joined, 0)
+            return
+        # Run boundaries of every joined value in every column, in bulk.
+        run_bounds = [column.runs_of(joined) for column in columns]
+        with tracer.span("score", level=level) as sspan:
+            if self.vectorized:
+                emitted_at_level = self._check_level_vectorized(
+                    joined, level, postings, columns, run_bounds,
+                    erasers, semantics, with_scores, caller_slot,
+                    damping_base, stats, results)
+            else:
+                emitted_at_level = 0
+                for j, number in enumerate(joined):
+                    stats.candidates_checked += 1
+                    emitted = self._check_candidate(
+                        int(number), level, j, postings, columns,
+                        run_bounds, erasers, semantics, with_scores,
+                        caller_slot, damping_base)
+                    if emitted is not None:
+                        results.append(emitted)
+                        emitted_at_level += 1
+                        stats.results_emitted += 1
+            sspan.tag(candidates=int(len(joined)),
+                      emitted=emitted_at_level)
+        if observer is not None:
+            observer(level, columns, joined, emitted_at_level)
+        # Erase every joined range *after* the level is fully checked:
+        # same-level candidates never interact (disjoint subtrees).
+        erasure_mark = stats.erasures
+        with tracer.span("erase", level=level) as espan:
+            if self.vectorized:
+                for t, column in enumerate(columns):
+                    lows, highs = run_bounds[t]
+                    lo_ords, hi_ords = column.ordinal_spans(lows, highs)
+                    erasers[t].mark_many(lo_ords, hi_ords)
+                    stats.erasures += int((highs - lows).sum())
+            else:
+                for t, column in enumerate(columns):
+                    lows, highs = run_bounds[t]
+                    for j in range(len(joined)):
+                        a, b = int(lows[j]), int(highs[j])
+                        ordinals = column.seq_idx[a:b]
+                        erasers[t].mark(int(ordinals[0]),
+                                        int(ordinals[-1]) + 1)
+                        stats.erasures += b - a
+            espan.tag(erased=stats.erasures - erasure_mark)
 
     def _check_level_vectorized(self, joined: np.ndarray, level: int,
                                 postings: List[ColumnarPostings], columns,

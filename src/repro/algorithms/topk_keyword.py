@@ -41,6 +41,8 @@ from ..index.columnar import ColumnarIndex, ColumnarPostings
 from ..index.scored import ColumnCursor, ScoredPostings
 from ..obs.tracing import NULL_TRACER
 from ..planner.plans import JoinPlanner
+from ..reliability.deadline import Deadline
+from ..reliability.errors import DeadlineExceeded
 from ..scoring.ranking import RankingModel
 from .base import (ELCA, SLCA, ExecutionStats, SearchResult, TopKResult,
                    check_semantics)
@@ -70,12 +72,21 @@ class _CursorInput:
 
 
 class _StreamState:
-    """Out-of-band flag: did the stream finish all join work?"""
+    """Out-of-band stream outcome: completion flag plus, for budgeted
+    runs stopped early under the "partial" policy, the guarantee gap.
 
-    __slots__ = ("finished",)
+    ``bound`` is the score below which the partial run proves nothing:
+    every result it *did* yield scored at least ``bound`` (emission
+    requires beating the live threshold), and any result it never
+    reached scores at most ``bound``.  The yielded list is therefore a
+    prefix of the unbounded run's emission order."""
+
+    __slots__ = ("finished", "partial", "bound")
 
     def __init__(self):
         self.finished = False
+        self.partial = False
+        self.bound: Optional[float] = None
 
 
 class TopKKeywordSearch:
@@ -93,12 +104,18 @@ class TopKKeywordSearch:
         self.ranking: RankingModel = index.ranking
 
     def search(self, terms: Sequence[str], k: int,
-               semantics: str = ELCA) -> TopKResult:
+               semantics: str = ELCA,
+               deadline: Optional[Deadline] = None) -> TopKResult:
         """The top-`k` results by score, best first.
 
         Built on `stream`: consuming exactly k results *is* the early
         termination -- the generator stops advancing cursors the moment
         the k-th result unblocks.
+
+        ``deadline`` (a `repro.reliability.Deadline`) bounds the run in
+        wall-clock terms; with the ``partial`` policy an expired run
+        returns the prefix emitted so far with ``TopKResult.partial``
+        set and ``TopKResult.bound`` as the guarantee gap.
         """
         stats = ExecutionStats()
         if k <= 0:
@@ -106,7 +123,8 @@ class TopKKeywordSearch:
             return TopKResult([], stats)
         state = _StreamState()
         generator = self.stream(terms, semantics, stats=stats,
-                                target_k=k, _state=state)
+                                target_k=k, _state=state,
+                                deadline=deadline)
         emitted: List[SearchResult] = []
         for result in generator:
             emitted.append(result)
@@ -116,14 +134,17 @@ class TopKKeywordSearch:
         with self.tracer.span("topk_termination") as tspan:
             tspan.tag(k=k, emitted=len(emitted),
                       terminated_early=not state.finished,
+                      partial=state.partial,
                       levels_processed=stats.levels_processed,
                       tuples_scanned=stats.tuples_scanned)
         return TopKResult(emitted, stats,
-                          terminated_early=not state.finished)
+                          terminated_early=not state.finished,
+                          partial=state.partial, bound=state.bound)
 
     def stream(self, terms: Sequence[str], semantics: str = ELCA,
                stats: Optional[ExecutionStats] = None,
-               target_k: int = 2 ** 30, _state=None):
+               target_k: int = 2 ** 30, _state=None,
+               deadline: Optional[Deadline] = None):
         """Yield every result best-first, lazily (progressive top-K).
 
         The paper's "generated results ... are output without blocking"
@@ -132,6 +153,15 @@ class TopKKeywordSearch:
         unseen.  Abandoning the generator abandons the remaining work,
         so ``itertools.islice(stream(...), k)`` behaves exactly like
         `search(..., k)`.
+
+        ``deadline`` is polled at level boundaries and every few
+        rank-join retrievals (the emission-attempt cadence).  On expiry
+        the ``raise`` policy raises `DeadlineExceeded` out of the
+        generator; the ``partial`` policy ends the stream cleanly after
+        recording the guarantee gap in the caller-supplied ``_state``.
+        Results already yielded are exactly the unbounded run's emission
+        prefix either way -- emission always required beating the live
+        bound.
         """
         check_semantics(semantics)
         tracer = self.tracer
@@ -142,9 +172,30 @@ class TopKKeywordSearch:
         if not terms:
             state.finished = True
             return
-        with tracer.span("postings_fetch", terms=list(terms)) as pspan:
-            postings = self.index.query_postings(terms)
-            pspan.tag(list_sizes=[len(p) for p in postings])
+
+        def stop_partial(level: int, engine_bound: float) -> None:
+            # Unyielded-but-buffered results must stay under the gap
+            # too; the buffer top caps them (heap root = best score).
+            state.partial = True
+            state.bound = max(engine_bound,
+                              -buffer[0][0] if buffer else -float("inf"))
+            stats.partial = True
+            stats.levels_skipped += level
+
+        buffer: List[Tuple[float, Tuple[int, ...], SearchResult]] = []
+        try:
+            with tracer.span("postings_fetch", terms=list(terms)) as pspan:
+                postings = self.index.query_postings(terms)
+                pspan.tag(list_sizes=[len(p) for p in postings])
+        except DeadlineExceeded:
+            # A scoped deadline expired while fetching postings; with no
+            # bound arithmetic yet the gap is vacuous (inf).
+            if deadline is None or not deadline.partial_ok:
+                raise
+            state.partial = True
+            state.bound = float("inf")
+            stats.partial = True
+            return
         if any(len(p) == 0 for p in postings):
             state.finished = True
             return
@@ -158,12 +209,25 @@ class TopKKeywordSearch:
         start_level = min(p.max_len for p in postings)
         cross_bound = self._cross_level_bounds(scored, start_level, ops)
 
-        # Buffer of completed-but-unemitted results: max-heap by score.
-        buffer: List[Tuple[float, Tuple[int, ...], SearchResult]] = []
-
+        # `buffer` (declared above, so the partial-stop helper closes
+        # over it) holds completed-but-unemitted results: max-heap by
+        # score.
         for level in range(start_level, 0, -1):
             below = cross_bound[level - 2] if level > 1 else -float("inf")
-            columns = [p.column(level) for p in postings]
+            if deadline is not None and deadline.expired():
+                if not deadline.partial_ok:
+                    deadline.raise_expired()
+                stop_partial(level, cross_bound[level - 1])
+                return
+            try:
+                columns = [p.column(level) for p in postings]
+            except DeadlineExceeded:
+                # Raised by a lazy column fetch polling the scoped
+                # deadline mid-materialization.
+                if deadline is None or not deadline.partial_ok:
+                    raise
+                stop_partial(level, cross_bound[level - 1])
+                return
             if any(len(c) == 0 for c in columns):
                 while buffer and -buffer[0][0] >= below:
                     stats.results_emitted += 1
@@ -208,6 +272,13 @@ class TopKKeywordSearch:
                     while buffer and -buffer[0][0] >= bound:
                         stats.results_emitted += 1
                         yield heapq.heappop(buffer)[2]
+                    # Same cadence as emission attempts: cheap (the
+                    # threshold is already fresh) and bounded lag.
+                    if deadline is not None and deadline.expired():
+                        if not deadline.partial_ok:
+                            deadline.raise_expired()
+                        stop_partial(level, bound)
+                        return
                 for completed in join.completed[consumed:]:
                     result = self._materialize(completed, level, postings,
                                                columns, erasers, semantics,
@@ -332,6 +403,8 @@ class TopKKeywordSearch:
 
 
 def search_topk(index: ColumnarIndex, terms: Sequence[str], k: int,
-                semantics: str = ELCA, bound_mode: str = GROUP) -> TopKResult:
+                semantics: str = ELCA, bound_mode: str = GROUP,
+                deadline: Optional[Deadline] = None) -> TopKResult:
     """One-shot convenience wrapper around `TopKKeywordSearch.search`."""
-    return TopKKeywordSearch(index, bound_mode).search(terms, k, semantics)
+    return TopKKeywordSearch(index, bound_mode).search(terms, k, semantics,
+                                                       deadline=deadline)

@@ -33,6 +33,8 @@ from .algorithms.rdil import RDILSearch
 from .algorithms.stack_based import StackBasedSearch
 from .algorithms.topk_keyword import TopKKeywordSearch
 from .cache import QueryCache, result_key
+from .reliability.deadline import Deadline, deadline_scope
+from .reliability.errors import DeadlineExceeded
 from .index.columnar import ColumnarIndex
 from .index.inverted import InvertedIndex
 from .index.tokenizer import Tokenizer
@@ -58,16 +60,26 @@ class BatchResult(list):
       added, ``per_level_plan`` concatenated in completion order);
     * ``latencies_ms`` -- per-query wall times, same order as entries;
     * ``elapsed_ms`` -- wall time of the whole batch (wall clock, not
-      the sum: with ``threads`` > 1 it is smaller than the sum).
+      the sum: with ``threads`` > 1 it is smaller than the sum);
+    * ``errors`` -- query index -> exception, for queries that failed
+      when the batch ran with error isolation (the default).  A failed
+      query's entry is ``None`` (or ``(None, stats)``) and its slot
+      contributes nothing to ``summary``.
     """
 
     summary: ExecutionStats
     latencies_ms: List[float]
     elapsed_ms: float
+    errors: Dict[int, BaseException]
 
     @property
     def n_queries(self) -> int:
         return len(self)
+
+    @property
+    def ok(self) -> bool:
+        """True when every query in the batch succeeded."""
+        return not self.errors
 
 
 class Query:
@@ -226,7 +238,11 @@ class XMLDatabase:
                semantics: str = ELCA, algorithm: str = "join",
                planner: Optional[JoinPlanner] = None,
                strict: bool = False,
-               use_cache: bool = True) -> List[SearchResult]:
+               use_cache: bool = True,
+               deadline: Optional[Union[Deadline, float]] = None,
+               timeout_ms: Optional[float] = None,
+               on_deadline: Optional[str] = None,
+               with_stats: bool = False):
         """Complete result set, in document order.
 
         ``algorithm`` is one of ``join`` (the paper's join-based
@@ -237,8 +253,22 @@ class XMLDatabase:
         Results are served from the database's result cache when
         possible (``use_cache=False`` opts out; a custom ``planner``
         bypasses the cache so the requested plan actually runs).
+
+        A query budget (`docs/RELIABILITY.md`) is set with ``deadline``
+        (a `repro.reliability.Deadline` or a number of milliseconds) or
+        the ``timeout_ms`` convenience kwarg; ``on_deadline`` picks the
+        expiry policy -- ``"raise"`` (default, `DeadlineExceeded`) or
+        ``"partial"`` (return what the evaluated levels proved, with
+        ``stats.partial`` set -- pass ``with_stats=True`` to see it;
+        partial results are always a subset of the unbounded run's).
+        Budgets are enforced on the ``join`` path; the in-memory
+        baselines ignore them.  Partial results are never cached.
+
+        Returns the result list, or ``(results, stats)`` with
+        ``with_stats=True``.
         """
         check_semantics(semantics)
+        deadline = Deadline.coerce(deadline, timeout_ms, on_deadline)
         tracer = self.tracer
         start = time.perf_counter()
         stats: Optional[ExecutionStats] = None
@@ -256,19 +286,36 @@ class XMLDatabase:
                 with tracer.span("cache_lookup") as cspan:
                     results = self.cache.get_results(key)
                     cspan.tag(hit=results is not None)
+                if results is not None:
+                    stats = ExecutionStats()
+                    stats.cache_hits = 1
             if results is None:
-                results, stats = self._complete_results(terms, semantics,
-                                                        algorithm, planner)
+                try:
+                    results, stats = self._complete_results(
+                        terms, semantics, algorithm, planner,
+                        deadline=deadline)
+                except DeadlineExceeded:
+                    self.metrics.counter("repro_deadline_hits_total",
+                                         {"outcome": "error"}).inc()
+                    raise
+                if stats.partial:
+                    self.metrics.counter("repro_deadline_hits_total",
+                                         {"outcome": "partial"}).inc()
+                    qspan.tag(partial=True)
                 if cacheable:
-                    self.cache.put_results(key, results)
+                    self.cache.put_results(key, results,
+                                           partial=stats.partial)
         self._record_query("search", terms, semantics, algorithm, None,
                            (time.perf_counter() - start) * 1000.0, stats,
                            qspan if tracer.enabled else None)
+        if with_stats:
+            return results, stats
         return results
 
     def _complete_results(self, terms: List[str], semantics: str,
                           algorithm: str,
-                          planner: Optional[JoinPlanner] = None
+                          planner: Optional[JoinPlanner] = None,
+                          deadline: Optional[Deadline] = None
                           ) -> Tuple[List[SearchResult], ExecutionStats]:
         """Uncached complete-evaluation dispatch shared by `search` and
         `search_batch`."""
@@ -276,6 +323,14 @@ class XMLDatabase:
             engine = JoinBasedSearch(self.columnar_index, planner,
                                      postings_cache=self.cache,
                                      tracer=self.tracer)
+            if deadline is not None:
+                # The scope lets the lazy disk index poll the deadline
+                # from inside column materialization; the engine itself
+                # receives the deadline as a parameter and handles the
+                # partial policy at level boundaries.
+                with deadline_scope(deadline):
+                    return engine.evaluate(terms, semantics,
+                                           deadline=deadline)
             return engine.evaluate(terms, semantics)
         if algorithm == "stack":
             return StackBasedSearch(self.inverted_index).evaluate(
@@ -292,21 +347,38 @@ class XMLDatabase:
 
     def search_ranked(self, query: Union[str, Sequence[str], Query],
                       semantics: str = ELCA,
-                      algorithm: str = "join") -> List[SearchResult]:
-        """Complete result set, best score first."""
-        return sort_by_score(self.search(query, semantics, algorithm))
+                      algorithm: str = "join",
+                      **kwargs) -> List[SearchResult]:
+        """Complete result set, best score first.
+
+        Extra keyword arguments (``deadline``, ``timeout_ms``,
+        ``on_deadline``, ``use_cache``, ...) forward to `search`.
+        """
+        return sort_by_score(self.search(query, semantics, algorithm,
+                                         **kwargs))
 
     def search_topk(self, query: Union[str, Sequence[str], Query], k: int,
                     semantics: str = ELCA, algorithm: str = "topk-join",
-                    strict: bool = False) -> TopKResult:
+                    strict: bool = False,
+                    deadline: Optional[Union[Deadline, float]] = None,
+                    timeout_ms: Optional[float] = None,
+                    on_deadline: Optional[str] = None) -> TopKResult:
         """Top-`k` results, best first.
 
         ``algorithm`` is one of ``topk-join`` (the paper's join-based
         top-K algorithm, default), ``rdil`` (the TA-style baseline),
         ``hybrid`` (section V-D) or ``join`` (evaluate everything, then
         truncate -- the "general join-based" line of Figure 10).
+
+        ``deadline`` / ``timeout_ms`` / ``on_deadline`` set a query
+        budget (`docs/RELIABILITY.md`), enforced on the ``topk-join``
+        and ``join`` paths.  Under the ``partial`` policy an expired
+        run returns the prefix proven so far: ``TopKResult.partial`` is
+        set and ``TopKResult.bound`` is the guarantee gap -- no result
+        the run did not return can score above it.
         """
         check_semantics(semantics)
+        deadline = Deadline.coerce(deadline, timeout_ms, on_deadline)
         tracer = self.tracer
         start = time.perf_counter()
         with tracer.span("query", op="topk", semantics=semantics,
@@ -316,20 +388,35 @@ class XMLDatabase:
             qspan.tag(terms=list(terms))
             if strict:
                 self._check_terms_exist(terms)
-            top = self._topk_result(terms, semantics, algorithm, k)
+            try:
+                top = self._topk_result(terms, semantics, algorithm, k,
+                                        deadline=deadline)
+            except DeadlineExceeded:
+                self.metrics.counter("repro_deadline_hits_total",
+                                     {"outcome": "error"}).inc()
+                raise
+            if top.partial:
+                self.metrics.counter("repro_deadline_hits_total",
+                                     {"outcome": "partial"}).inc()
+                qspan.tag(partial=True)
         self._record_query("topk", terms, semantics, algorithm, k,
                            (time.perf_counter() - start) * 1000.0,
                            top.stats, qspan if tracer.enabled else None)
         return top
 
     def _topk_result(self, terms: List[str], semantics: str, algorithm: str,
-                     k: int) -> TopKResult:
+                     k: int,
+                     deadline: Optional[Deadline] = None) -> TopKResult:
         """Uncached top-K dispatch shared by `search_topk` and
         `search_batch`."""
         if algorithm == "topk-join":
-            return TopKKeywordSearch(self.columnar_index,
-                                     tracer=self.tracer).search(
-                terms, k, semantics)
+            engine = TopKKeywordSearch(self.columnar_index,
+                                       tracer=self.tracer)
+            if deadline is not None:
+                with deadline_scope(deadline):
+                    return engine.search(terms, k, semantics,
+                                         deadline=deadline)
+            return engine.search(terms, k, semantics)
         if algorithm == "rdil":
             return RDILSearch(self.inverted_index).search(terms, k, semantics)
         if algorithm == "hybrid":
@@ -339,8 +426,14 @@ class XMLDatabase:
             engine = JoinBasedSearch(self.columnar_index,
                                      postings_cache=self.cache,
                                      tracer=self.tracer)
-            results, stats = engine.evaluate(terms, semantics)
-            return TopKResult(sort_by_score(results)[:k], stats)
+            if deadline is not None:
+                with deadline_scope(deadline):
+                    results, stats = engine.evaluate(terms, semantics,
+                                                     deadline=deadline)
+            else:
+                results, stats = engine.evaluate(terms, semantics)
+            return TopKResult(sort_by_score(results)[:k], stats,
+                              partial=stats.partial)
         raise ValueError(
             f"unknown algorithm {algorithm!r}; one of {TOPK_ALGORITHMS}")
 
@@ -351,7 +444,11 @@ class XMLDatabase:
                      algorithm: Optional[str] = None,
                      threads: Optional[int] = None,
                      with_stats: bool = False,
-                     use_cache: bool = True):
+                     use_cache: bool = True,
+                     deadline: Optional[Union[Deadline, float]] = None,
+                     timeout_ms: Optional[float] = None,
+                     on_deadline: Optional[str] = None,
+                     raise_on_error: bool = False):
         """Evaluate many queries against shared cache state.
 
         ``k=None`` (default) runs complete evaluations (``algorithm``
@@ -375,8 +472,21 @@ class XMLDatabase:
         the metrics registry: ``repro_batch_queries_total``,
         ``repro_batch_queue_depth`` (queries accepted but not yet
         finished) and per-query ``repro_query_latency_ms{op=batch}``.
+
+        One failing query does not lose the batch: by default its slot
+        holds ``None`` (or ``(None, stats)``), the exception lands in
+        ``BatchResult.errors`` keyed by query index, and
+        ``repro_batch_query_errors_total`` counts it.  Pass
+        ``raise_on_error=True`` to get fail-fast propagation instead.
+
+        ``deadline`` / ``timeout_ms`` / ``on_deadline`` set one shared
+        budget for the whole batch: every query checks the same clock,
+        so once it expires the remaining deadline-aware queries either
+        raise (isolated into ``errors`` unless ``raise_on_error``) or
+        return partial results, per the policy.
         """
         check_semantics(semantics)
+        deadline = Deadline.coerce(deadline, timeout_ms, on_deadline)
         if algorithm is None:
             algorithm = "join" if k is None else "topk-join"
         tracer = self.tracer
@@ -402,42 +512,84 @@ class XMLDatabase:
                 if results is None:
                     if k is None:
                         results, stats = self._complete_results(
-                            terms, semantics, algorithm)
+                            terms, semantics, algorithm, deadline=deadline)
                     else:
                         top = self._topk_result(terms, semantics,
-                                                algorithm, k)
+                                                algorithm, k,
+                                                deadline=deadline)
                         results, stats = list(top.results), top.stats
+                    if stats.partial:
+                        self.metrics.counter("repro_deadline_hits_total",
+                                             {"outcome": "partial"}).inc()
+                        qspan.tag(partial=True)
                     if use_cache:
                         before = self.cache.results.stats.evictions
-                        self.cache.put_results(key, results)
+                        self.cache.put_results(key, results,
+                                               partial=stats.partial)
                         stats.cache_misses += 1
                         stats.cache_evictions += \
                             self.cache.results.stats.evictions - before
             elapsed_ms = (time.perf_counter() - start) * 1000.0
-            queue_depth.dec()
             self._record_query("batch", terms, semantics, algorithm, k,
                                elapsed_ms, stats,
                                qspan if tracer.enabled else None)
             return results, stats, elapsed_ms
 
-        queue_depth.inc(len(queries))
-        if threads is not None and threads > 1:
-            from concurrent.futures import ThreadPoolExecutor
+        import threading
 
-            # Build lazy indexes up-front: concurrent first touches would
-            # otherwise race to construct them.
-            if algorithm in ("join", "topk-join", "hybrid"):
-                self.columnar_index
-            if algorithm in ("stack", "index", "oracle", "rdil"):
-                self.inverted_index
-            with ThreadPoolExecutor(max_workers=threads) as pool:
-                triples = list(pool.map(one, queries))
-        else:
-            triples = [one(query) for query in queries]
+        errors: Dict[int, BaseException] = {}
+        progress_lock = threading.Lock()
+        finished = 0
+
+        def one_isolated(item):
+            # queue_depth decrements exactly once per query, success or
+            # failure, so the gauge cannot drift under errors.
+            nonlocal finished
+            index, query = item
+            try:
+                return one(query)
+            except Exception as exc:
+                if raise_on_error:
+                    raise
+                if isinstance(exc, DeadlineExceeded):
+                    self.metrics.counter("repro_deadline_hits_total",
+                                         {"outcome": "error"}).inc()
+                self.metrics.counter(
+                    "repro_batch_query_errors_total").inc()
+                with progress_lock:
+                    errors[index] = exc
+                return None, ExecutionStats(), 0.0
+            finally:
+                queue_depth.dec()
+                with progress_lock:
+                    finished += 1
+
+        queue_depth.inc(len(queries))
+        indexed = list(enumerate(queries))
+        try:
+            if threads is not None and threads > 1:
+                from concurrent.futures import ThreadPoolExecutor
+
+                # Build lazy indexes up-front: concurrent first touches
+                # would otherwise race to construct them.
+                if algorithm in ("join", "topk-join", "hybrid"):
+                    self.columnar_index
+                if algorithm in ("stack", "index", "oracle", "rdil"):
+                    self.inverted_index
+                with ThreadPoolExecutor(max_workers=threads) as pool:
+                    triples = list(pool.map(one_isolated, indexed))
+            else:
+                triples = [one_isolated(item) for item in indexed]
+        except BaseException:
+            # Fail-fast propagation: queries that never started still
+            # hold queue slots; release them so the gauge stays honest.
+            queue_depth.dec(len(queries) - finished)
+            raise
 
         summary = ExecutionStats()
-        for _results, stats, _ms in triples:
-            summary.merge(stats)
+        for index, (_results, stats, _ms) in enumerate(triples):
+            if index not in errors:
+                summary.merge(stats)
         if with_stats:
             batch = BatchResult((results, stats)
                                 for results, stats, _ms in triples)
@@ -446,22 +598,36 @@ class XMLDatabase:
         batch.summary = summary
         batch.latencies_ms = [ms for _results, _stats, ms in triples]
         batch.elapsed_ms = (time.perf_counter() - batch_start) * 1000.0
+        batch.errors = errors
         self.metrics.counter("repro_batch_queries_total").inc(len(queries))
         self.metrics.histogram("repro_batch_latency_ms").observe(
             batch.elapsed_ms)
         return batch
 
     def search_stream(self, query: Union[str, Sequence[str], Query],
-                      semantics: str = ELCA):
+                      semantics: str = ELCA,
+                      deadline: Optional[Union[Deadline, float]] = None,
+                      timeout_ms: Optional[float] = None,
+                      on_deadline: Optional[str] = None):
         """Yield results best-first, lazily (progressive top-K).
 
         Each ``next()`` advances the join-based top-K machinery only far
         enough to prove one more result safe; abandoning the generator
         abandons the remaining work.
+
+        A ``deadline`` bounds the stream: under the ``raise`` policy an
+        expired budget raises `DeadlineExceeded` from ``next()``; under
+        ``partial`` the stream simply ends.  Results yielded before the
+        cut are a prefix of the unbounded stream either way.  (No
+        thread-local scope is installed for streams -- the generator
+        suspends between ``next()`` calls, and a scope left set across
+        a ``yield`` would leak into the consumer's unrelated queries;
+        the engine checks its deadline parameter instead.)
         """
+        deadline = Deadline.coerce(deadline, timeout_ms, on_deadline)
         return TopKKeywordSearch(self.columnar_index,
                                  tracer=self.tracer).stream(
-            self._terms(query), semantics)
+            self._terms(query), semantics, deadline=deadline)
 
     def explain(self, query: Union[str, Sequence[str], Query],
                 semantics: str = ELCA,

@@ -184,7 +184,16 @@ class QueryCache:
             self._results_hit.inc()
         return list(cached)
 
-    def put_results(self, key: ResultKey, results: Sequence) -> None:
+    def put_results(self, key: ResultKey, results: Sequence,
+                    partial: bool = False) -> None:
+        """Store a result list -- unless it is ``partial``.
+
+        A deadline-truncated result set is valid only for the budget
+        that produced it; caching it would serve degraded answers to
+        unbudgeted callers, so partial entries are dropped silently.
+        """
+        if partial:
+            return
         self.results.put(key, list(results))
 
     def clear(self) -> None:

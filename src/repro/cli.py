@@ -24,9 +24,21 @@ from typing import List, Optional
 
 from .api import ALGORITHMS, TOPK_ALGORITHMS, XMLDatabase
 from .algorithms.base import SearchResult
+from .reliability.errors import DatabaseFormatError, DeadlineExceeded
+
+# Distinct exit codes so scripts can branch without parsing stderr:
+# 1 = generic error, 2 = argparse usage (argparse's own convention),
+# 3 = database directory / input file missing, 4 = database corrupt or
+# format-incompatible, 5 = query deadline exceeded.
+EXIT_MISSING = 3
+EXIT_CORRUPT = 4
+EXIT_DEADLINE = 5
 
 
 def _load(path: str) -> XMLDatabase:
+    if not os.path.exists(path):
+        raise FileNotFoundError(
+            f"no such database directory or XML file: {path}")
     if os.path.isdir(path):
         from .diskdb import load_database
 
@@ -34,6 +46,14 @@ def _load(path: str) -> XMLDatabase:
     from .xmltree.parser import parse_xml_file
 
     return XMLDatabase.from_tree(parse_xml_file(path))
+
+
+def _budget_kwargs(args: argparse.Namespace) -> dict:
+    """Deadline kwargs for db.search/search_topk from --timeout-ms/--partial."""
+    if getattr(args, "timeout_ms", None) is None:
+        return {}
+    return {"timeout_ms": args.timeout_ms,
+            "on_deadline": "partial" if args.partial else "raise"}
 
 
 def _print_results(results: List[SearchResult], limit: Optional[int],
@@ -53,10 +73,14 @@ def _print_results(results: List[SearchResult], limit: Optional[int],
 def cmd_search(args: argparse.Namespace) -> int:
     db = _load(args.database)
     start = time.perf_counter()
-    results = db.search(args.query, semantics=args.semantics,
-                        algorithm=args.algorithm)
+    results, stats = db.search(args.query, semantics=args.semantics,
+                               algorithm=args.algorithm, with_stats=True,
+                               **_budget_kwargs(args))
     elapsed = (time.perf_counter() - start) * 1000
     _print_results(results, args.limit, elapsed)
+    if stats is not None and stats.partial:
+        print(f"(partial: {args.timeout_ms:g} ms budget expired with "
+              f"{stats.levels_skipped} levels unprocessed)")
     return 0
 
 
@@ -64,10 +88,16 @@ def cmd_topk(args: argparse.Namespace) -> int:
     db = _load(args.database)
     start = time.perf_counter()
     result = db.search_topk(args.query, args.k, semantics=args.semantics,
-                            algorithm=args.algorithm)
+                            algorithm=args.algorithm,
+                            **_budget_kwargs(args))
     elapsed = (time.perf_counter() - start) * 1000
     _print_results(list(result), None, elapsed)
-    if result.terminated_early:
+    if result.partial:
+        gap = ("unknown" if result.bound is None
+               else f"{result.bound:.4f}")
+        print(f"(partial: budget expired; unreturned results score "
+              f"<= {gap})")
+    elif result.terminated_early:
         print("(terminated early)")
     return 0
 
@@ -186,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", choices=ALGORITHMS, default="join")
     p.add_argument("--limit", type=int, default=20,
                    help="results to print (all are counted)")
+    p.add_argument("--timeout-ms", type=float, default=None,
+                   help="query budget in milliseconds")
+    p.add_argument("--partial", action="store_true",
+                   help="return partial results on an expired budget "
+                        "instead of failing (exit 5)")
     p.set_defaults(fn=cmd_search)
 
     p = sub.add_parser("topk", help="top-K results, best first")
@@ -196,6 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default="elca")
     p.add_argument("--algorithm", choices=TOPK_ALGORITHMS,
                    default="topk-join")
+    p.add_argument("--timeout-ms", type=float, default=None,
+                   help="query budget in milliseconds")
+    p.add_argument("--partial", action="store_true",
+                   help="return the proven prefix on an expired budget "
+                        "instead of failing (exit 5)")
     p.set_defaults(fn=cmd_topk)
 
     p = sub.add_parser("index", help="index an XML file into a database")
@@ -260,7 +300,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except (FileNotFoundError, ValueError) as exc:
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_MISSING
+    except DatabaseFormatError as exc:
+        # Covers DatabaseCorruptError (its subclass): checksum
+        # mismatches, truncated files, interrupted saves.
+        print(f"error: database unusable: {exc}", file=sys.stderr)
+        return EXIT_CORRUPT
+    except DeadlineExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_DEADLINE
+    except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -4,7 +4,8 @@ An indexed database saves to a directory::
 
     mydb/
       document.xml    the XML document (canonical serialization)
-      meta.json       format version, JDewey gap, ranking/tokenizer config
+      meta.json       format version, JDewey gap, ranking/tokenizer
+                      config, checksum manifest
       columnar.bin    the JDewey columnar index (exact scores)
       dewey.bin       the document-ordered Dewey index (exact scores)
 
@@ -12,6 +13,24 @@ Opening re-parses the document and re-derives the JDewey numbering
 (deterministic given the document and the recorded gap), then installs
 the stored postings directly, so queries on the opened database return
 byte-identical results to the original without re-tokenizing.
+
+Format v2 (`repro.reliability`) adds integrity and atomicity:
+
+* the index files are *blocked* containers -- every term's payload
+  carries a CRC, so a lazy reader can verify exactly the bytes it
+  touches -- and ``meta.json`` records a whole-file digest per file;
+* `save_database` stages everything in a sibling temp directory,
+  fsyncs, then `os.replace`-s file by file with ``meta.json`` strictly
+  last.  A crash before the manifest lands leaves either the old
+  database intact or a directory whose stale manifest disagrees with
+  the new data files -- both detected at load, never absorbed;
+* `load_database` verifies digests (`verify="eager"`/``"lazy"``/
+  ``"off"``) raising `DatabaseCorruptError` naming the offending file
+  (and keyword, for per-block failures), and can route all reads
+  through a `FaultInjector` plus bounded `RetryPolicy` so transient
+  I/O errors heal and permanent ones surface typed.
+
+Version-1 directories (no checksums, bare blobs) still load.
 
 Only the default `TfIdfScorer`/`SumCombiner` ranking configuration (any
 damping base) round-trips from metadata; databases built with custom
@@ -23,39 +42,74 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 from typing import Optional
 
 from .api import XMLDatabase
 from .index import storage
-from .obs.metrics import get_registry
 from .index.columnar import ColumnarIndex
 from .index.inverted import InvertedIndex
+from .index.lazydisk import LazyColumnarIndex
 from .index.tokenizer import Tokenizer
+from .obs.metrics import get_registry
+from .reliability.checksum import (ALGORITHMS, DEFAULT_ALGORITHM,
+                                   hex_digest)
+from .reliability.checksum import verify as digest_matches
+from .reliability.errors import (DatabaseCorruptError, DatabaseFormatError,
+                                 RetryExhaustedError)
+from .reliability.faults import FaultInjector
+from .reliability.io import fsync_dir, read_bytes, write_bytes
+from .reliability.retry import DEFAULT_POLICY, RetryPolicy
 from .scoring.ranking import DampingFunction, RankingModel
 from .xmltree.parser import parse_xml
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 _DOCUMENT = "document.xml"
 _META = "meta.json"
 _COLUMNAR = "columnar.bin"
 _DEWEY = "dewey.bin"
 
-
-class DatabaseFormatError(ValueError):
-    """Raised when a database directory is missing pieces or mismatched."""
+_VERIFY_MODES = ("eager", "lazy", "off")
 
 
-def save_database(db: XMLDatabase, path: str) -> None:
-    """Write `db` (document + both indexes) to directory `path`.
+def _fault_hook(stage: str) -> None:
+    """Kill-point seam for the atomic-save tests.
 
-    Builds any index not yet built; existing files are overwritten.
-    Bytes written are published as
-    ``repro_disk_bytes_written_total`` in the process metrics registry.
+    `save_database` calls this after each commit stage
+    (``"tmp-written"``, ``"data-replaced"``, ``"meta-replaced"``); the
+    crash-consistency tests monkeypatch it to abort mid-save and then
+    assert the directory either still loads as the old database or
+    fails loudly with a typed error.  A no-op in production.
+    """
+
+
+def save_database(db: XMLDatabase, path: str,
+                  algorithm: Optional[str] = None,
+                  fsync: bool = True) -> None:
+    """Write `db` (document + both indexes) to directory `path`, atomically.
+
+    Builds any index not yet built.  All files are staged in a sibling
+    temp directory (same filesystem, so `os.replace` is atomic), fsynced,
+    then moved into place with ``meta.json`` last -- the manifest's
+    arrival commits the save.  ``algorithm`` picks the checksum
+    (default `repro.reliability.DEFAULT_ALGORITHM`); ``fsync=False``
+    trades durability for speed (tests, throwaway dirs).
+
+    Bytes written are published as ``repro_disk_bytes_written_total``
+    in the process metrics registry.
     """
     metrics = get_registry()
-    bytes_written = metrics.counter("repro_disk_bytes_written_total")
-    os.makedirs(path, exist_ok=True)
+    algorithm = algorithm if algorithm is not None else DEFAULT_ALGORITHM
+    document = db.tree.to_xml().encode("utf-8")
+    columnar_blob = storage.serialize_columnar_index_blocked(
+        db.columnar_index, score_mode=storage.SCORES_EXACT,
+        algorithm=algorithm)
+    dewey_blob = storage.serialize_inverted_index_blocked(
+        db.inverted_index, score_mode=storage.SCORES_EXACT,
+        algorithm=algorithm)
     meta = {
         "format_version": FORMAT_VERSION,
         "jdewey_gap": db.encoder.gap,
@@ -66,23 +120,46 @@ def save_database(db: XMLDatabase, path: str) -> None:
             "min_length": db.tokenizer.min_length,
         },
         "n_nodes": len(db.tree),
+        "checksum": {
+            "algorithm": algorithm,
+            "files": {
+                _DOCUMENT: hex_digest(document, algorithm),
+                _COLUMNAR: hex_digest(columnar_blob, algorithm),
+                _DEWEY: hex_digest(dewey_blob, algorithm),
+            },
+        },
     }
-    document = db.tree.to_xml()
-    with open(os.path.join(path, _DOCUMENT), "w", encoding="utf-8") as f:
-        f.write(document)
-    bytes_written.inc(len(document.encode("utf-8")))
-    columnar_blob = storage.serialize_columnar_index(
-        db.columnar_index, score_mode=storage.SCORES_EXACT)
-    with open(os.path.join(path, _COLUMNAR), "wb") as f:
-        f.write(columnar_blob)
-    dewey_blob = storage.serialize_inverted_index(
-        db.inverted_index, score_mode=storage.SCORES_EXACT)
-    with open(os.path.join(path, _DEWEY), "wb") as f:
-        f.write(dewey_blob)
-    bytes_written.inc(len(columnar_blob) + len(dewey_blob))
-    # Metadata last: its presence marks a complete save.
-    with open(os.path.join(path, _META), "w", encoding="utf-8") as f:
-        json.dump(meta, f, indent=2, sort_keys=True)
+    meta_blob = json.dumps(meta, indent=2, sort_keys=True).encode("utf-8")
+
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(parent, exist_ok=True)
+    tmp_dir = tempfile.mkdtemp(prefix=os.path.basename(path) + ".tmp-",
+                               dir=parent)
+    data_files = [(_DOCUMENT, document), (_COLUMNAR, columnar_blob),
+                  (_DEWEY, dewey_blob)]
+    try:
+        for name, blob in data_files:
+            write_bytes(os.path.join(tmp_dir, name), blob, fsync=fsync)
+        write_bytes(os.path.join(tmp_dir, _META), meta_blob, fsync=fsync)
+        _fault_hook("tmp-written")
+        os.makedirs(path, exist_ok=True)
+        for name, _blob in data_files:
+            os.replace(os.path.join(tmp_dir, name),
+                       os.path.join(path, name))
+        if fsync:
+            fsync_dir(path)
+        _fault_hook("data-replaced")
+        # Manifest strictly last: its digests vouch for the data files,
+        # so any interleaving of crash and rename is detectable.
+        os.replace(os.path.join(tmp_dir, _META), os.path.join(path, _META))
+        if fsync:
+            fsync_dir(path)
+        _fault_hook("meta-replaced")
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+    metrics.counter("repro_disk_bytes_written_total").inc(
+        len(document) + len(columnar_blob) + len(dewey_blob)
+        + len(meta_blob))
     metrics.counter("repro_db_saves_total").inc()
 
 
@@ -91,6 +168,10 @@ def load_database(path: str,
                   cache=None,
                   postings_cache_size: int = 256,
                   result_cache_size: int = 1024,
+                  verify: str = "eager",
+                  lazy: bool = False,
+                  injector: Optional[FaultInjector] = None,
+                  retry: Optional[RetryPolicy] = None,
                   **db_kwargs) -> XMLDatabase:
     """Open a directory written by `save_database`.
 
@@ -99,54 +180,150 @@ def load_database(path: str,
     are forwarded to the `XMLDatabase` constructor.  Bytes read are
     published as ``repro_disk_bytes_read_total``.
 
+    Reliability knobs (`repro.reliability`):
+
+    * ``verify`` -- ``"eager"`` (default) checks every whole-file
+      digest at load; ``"lazy"`` defers the columnar index to per-block
+      checks on first touch (only meaningful with ``lazy=True``);
+      ``"off"`` skips verification.
+    * ``lazy`` -- serve the columnar index from the compressed blob
+      (`LazyColumnarIndex`), decompressing columns on demand.
+    * ``injector`` / ``retry`` -- route every file read through a
+      `FaultInjector` and a bounded `RetryPolicy` (defaults to
+      `DEFAULT_POLICY` when an injector is installed), so transient
+      faults heal; exhausted retries surface as `DatabaseCorruptError`.
+
     Raises `DatabaseFormatError` on missing files, version mismatch, or
-    a document that no longer matches the stored indexes.
+    a document that no longer matches the stored indexes, and
+    `DatabaseCorruptError` (a subclass) when bytes fail their checksum
+    or do not parse.
     """
+    if verify not in _VERIFY_MODES:
+        raise ValueError(f"unknown verify mode {verify!r}; "
+                         f"one of {_VERIFY_MODES}")
     metrics = get_registry()
     bytes_read = metrics.counter("repro_disk_bytes_read_total")
+    if retry is None and injector is not None:
+        retry = DEFAULT_POLICY
+
+    def read_file(name: str, op: str) -> bytes:
+        try:
+            return read_bytes(os.path.join(path, name), injector=injector,
+                              retry=retry, metrics=metrics, op=op)
+        except RetryExhaustedError as exc:
+            raise DatabaseCorruptError(
+                f"could not read {name}: {exc}", file=name) from exc
+
     meta_path = os.path.join(path, _META)
     if not os.path.exists(meta_path):
         raise DatabaseFormatError(f"{path!r} has no {_META} "
                                   "(incomplete or not a database)")
-    with open(meta_path, "r", encoding="utf-8") as f:
-        meta = json.load(f)
-    if meta.get("format_version") != FORMAT_VERSION:
+    try:
+        meta = json.loads(read_file(_META, "read-meta").decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise DatabaseFormatError(
-            f"format version {meta.get('format_version')!r} unsupported "
-            f"(expected {FORMAT_VERSION})")
-
-    with open(os.path.join(path, _DOCUMENT), "r", encoding="utf-8") as f:
-        document = f.read()
-    bytes_read.inc(len(document.encode("utf-8")))
-    tree = parse_xml(document)
-    if len(tree) != meta["n_nodes"]:
+            f"{_META} does not parse ({exc}); interrupted save?") from exc
+    version = meta.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
         raise DatabaseFormatError(
-            f"document has {len(tree)} nodes, metadata says "
-            f"{meta['n_nodes']}")
+            f"format version {version!r} unsupported "
+            f"(expected one of {_SUPPORTED_VERSIONS})")
+    # Pull every field up-front so a mangled manifest surfaces as one
+    # typed error instead of a raw KeyError/TypeError deep in the load.
+    try:
+        manifest = meta.get("checksum", {})
+        algorithm = manifest.get("algorithm")
+        digests = manifest.get("files", {})
+        n_nodes = int(meta["n_nodes"])
+        n_docs = int(meta["n_docs"])
+        jdewey_gap = int(meta["jdewey_gap"])
+        damping_base = float(meta["damping_base"])
+        tokenizer_cfg = meta["tokenizer"]
+        stopwords = list(tokenizer_cfg["stopwords"])
+        min_length = int(tokenizer_cfg["min_length"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatabaseFormatError(
+            f"{_META} is missing or has an invalid field: {exc!r}") from exc
+    if version >= 2 and verify != "off" and algorithm not in ALGORITHMS:
+        raise DatabaseFormatError(
+            f"manifest names unknown checksum algorithm {algorithm!r}")
 
-    tokenizer = Tokenizer(stopwords=meta["tokenizer"]["stopwords"],
-                          min_length=meta["tokenizer"]["min_length"])
-    if ranking is None:
-        ranking = RankingModel(
-            damping=DampingFunction(meta["damping_base"]))
-    db = XMLDatabase(tree, tokenizer=tokenizer, ranking=ranking,
-                     jdewey_gap=meta["jdewey_gap"], cache=cache,
-                     postings_cache_size=postings_cache_size,
-                     result_cache_size=result_cache_size,
-                     **db_kwargs)
+    def verify_file(name: str, blob: bytes) -> None:
+        if verify == "off" or version < 2:
+            return
+        expected = digests.get(name)
+        if expected is None or not digest_matches(blob, expected, algorithm):
+            metrics.counter("repro_checksum_failures_total",
+                            {"file": name}).inc()
+            raise DatabaseCorruptError(
+                f"whole-file digest mismatch for {name} "
+                f"({algorithm}); the file was corrupted or belongs to "
+                "an interrupted save", file=name)
 
-    with open(os.path.join(path, _COLUMNAR), "rb") as f:
-        columnar_blob = f.read()
-    with open(os.path.join(path, _DEWEY), "rb") as f:
-        dewey_blob = f.read()
+    doc_blob = read_file(_DOCUMENT, "read-document")
+    bytes_read.inc(len(doc_blob))
+    verify_file(_DOCUMENT, doc_blob)
+    try:
+        tree = parse_xml(doc_blob.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError, IndexError, KeyError) as exc:
+        raise DatabaseCorruptError(
+            f"{_DOCUMENT} does not parse: {exc}", file=_DOCUMENT) from exc
+    if len(tree) != n_nodes:
+        raise DatabaseFormatError(
+            f"document has {len(tree)} nodes, metadata says {n_nodes}")
+
+    try:
+        tokenizer = Tokenizer(stopwords=stopwords, min_length=min_length)
+        if ranking is None:
+            ranking = RankingModel(damping=DampingFunction(damping_base))
+        db = XMLDatabase(tree, tokenizer=tokenizer, ranking=ranking,
+                         jdewey_gap=jdewey_gap, cache=cache,
+                         postings_cache_size=postings_cache_size,
+                         result_cache_size=result_cache_size,
+                         **db_kwargs)
+    except (TypeError, ValueError) as exc:
+        raise DatabaseFormatError(
+            f"{_META} carries an invalid configuration: {exc}") from exc
+
+    columnar_blob = read_file(_COLUMNAR, "read-columnar")
+    dewey_blob = read_file(_DEWEY, "read-dewey")
     bytes_read.inc(len(columnar_blob) + len(dewey_blob))
-    columnar_postings = storage.deserialize_columnar_index(columnar_blob)
-    dewey_lists = storage.deserialize_inverted_index(dewey_blob)
-    db._columnar = ColumnarIndex.from_postings(
-        tree, columnar_postings, tokenizer, ranking, meta["n_docs"])
+    verify_file(_DEWEY, dewey_blob)
+    if not lazy:
+        # The lazy path skips the whole-file pass on the columnar blob
+        # on purpose: its per-block CRCs cover exactly the bytes a
+        # query touches, when it touches them.
+        verify_file(_COLUMNAR, columnar_blob)
+
+    if version >= 2:
+        # Block CRCs are not re-checked here -- the whole-file digest
+        # above already covered every byte (unless verify="off", which
+        # asked for no checks at all).
+        dewey_lists = storage.deserialize_inverted_index_blocked(
+            dewey_blob, verify=False, file=_DEWEY)
+    else:
+        dewey_lists = storage.guarded_deserialize_inverted(
+            dewey_blob, file=_DEWEY)
     db._inverted = InvertedIndex.from_lists(
-        tree, dewey_lists, tokenizer, ranking, meta["n_docs"])
-    _verify_consistency(db)
+        tree, dewey_lists, tokenizer, ranking, n_docs)
+
+    if lazy:
+        lazy_index = LazyColumnarIndex(
+            columnar_blob, tree, tokenizer, ranking,
+            verify=verify if version >= 2 else "off",
+            source=_COLUMNAR, metrics=metrics)
+        lazy_index.n_docs = n_docs
+        db._columnar = lazy_index
+    else:
+        if version >= 2:
+            columnar_postings = storage.deserialize_columnar_index_blocked(
+                columnar_blob, verify=False, file=_COLUMNAR)
+        else:
+            columnar_postings = storage.guarded_deserialize_columnar(
+                columnar_blob, file=_COLUMNAR)
+        db._columnar = ColumnarIndex.from_postings(
+            tree, columnar_postings, tokenizer, ranking, n_docs)
+        _verify_consistency(db)
     metrics.counter("repro_db_loads_total").inc()
     return db
 
@@ -155,7 +332,8 @@ def _verify_consistency(db: XMLDatabase) -> None:
     """Spot-check that the stored postings match the re-encoded tree.
 
     The JDewey re-encoding is deterministic, so a mismatch means the
-    document file was edited after the indexes were written.
+    document file was edited after the indexes were written.  Skipped
+    on the lazy load path (it would materialize sequences).
     """
     columnar = db._columnar
     for term in columnar.vocabulary[:5]:

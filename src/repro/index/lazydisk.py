@@ -22,10 +22,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..reliability.deadline import check_active
+from ..reliability.errors import DatabaseCorruptError, DatabaseFormatError
 from ..scoring.ranking import RankingModel
 from ..xmltree.tree import Node, XMLTree
 from .columnar import Column, ColumnarPostings
 from .compression import decompress_column, read_varint
+from .storage import (_MAGIC_COLUMNAR, _MAGIC_COLUMNAR_BLOCKED,
+                      _PARSE_ERRORS, BlockRef, scan_blocked_container,
+                      verify_block)
 from .tokenizer import Tokenizer
 
 
@@ -90,6 +95,11 @@ class LazyColumnarPostings(ColumnarPostings):
         if level > self.max_len:
             values = np.empty(0, dtype=np.int64)
         else:
+            # The lazy index's "disk read": poll the scoped deadline at
+            # every posting fetch, so a budgeted query cannot stall
+            # inside a long decompression chain (a getattr + None test
+            # when no deadline is active).
+            check_active()
             scheme, payload = self._level_payloads[level - 1]
             self.io.record(level, len(payload))
             values = decompress_column(scheme, payload)
@@ -148,39 +158,102 @@ class LazyColumnarIndex:
     Per-term *framing* is parsed eagerly (cheap varint walk); column
     payloads stay compressed until a query touches them.  One shared
     `IOStats` instrument records every decompression.
+
+    Accepts both the bare v1 blob (``JDXC``) and the checksummed
+    blocked v2 container (``JDXB``, `repro.index.storage`).  For v2 the
+    ``verify`` mode controls when block checksums are checked:
+
+    * ``"lazy"`` (default) -- on a term's first touch, right before its
+      payload is parsed.  Matches the lazy-I/O design: a query only
+      pays for the integrity of the bytes it actually reads.
+    * ``"eager"`` -- every block at construction (column payloads still
+      decompress lazily).
+    * ``"off"``  -- never (benchmarking / recovery tooling).
+
+    A failed check raises `DatabaseCorruptError` naming the source file
+    and the offending keyword, and bumps
+    ``repro_checksum_failures_total{file=...}`` when a metrics registry
+    is wired in.
     """
 
     def __init__(self, blob: bytes, tree: XMLTree,
                  tokenizer: Optional[Tokenizer] = None,
-                 ranking: Optional[RankingModel] = None):
-        if blob[:4] != b"JDXC":
-            raise ValueError("not a columnar index blob")
+                 ranking: Optional[RankingModel] = None,
+                 verify: str = "lazy", source: Optional[str] = None,
+                 metrics=None):
+        if verify not in ("lazy", "eager", "off"):
+            raise ValueError(f"unknown verify mode {verify!r}; "
+                             "one of ('lazy', 'eager', 'off')")
         self.tree = tree
         self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
         self.ranking = ranking if ranking is not None else RankingModel()
         self.io = IOStats()
+        self.verify = verify
+        self.source = source
+        self.metrics = metrics
+        self._blob = blob
         self._postings: Dict[str, LazyColumnarPostings] = {}
-        pos = 4
-        n_terms, pos = read_varint(blob, pos)
-        for _ in range(n_terms):
-            postings, pos = parse_lazy_postings(blob, pos, self.io)
-            self._postings[postings.term] = postings
+        self._blocks: Dict[str, BlockRef] = {}
+        self._algorithm: Optional[str] = None
+        magic = blob[:4]
+        if magic == _MAGIC_COLUMNAR:
+            pos = 4
+            n_terms, pos = read_varint(blob, pos)
+            for _ in range(n_terms):
+                postings, pos = parse_lazy_postings(blob, pos, self.io)
+                self._postings[postings.term] = postings
+        elif magic == _MAGIC_COLUMNAR_BLOCKED:
+            self._algorithm, refs = scan_blocked_container(
+                blob, _MAGIC_COLUMNAR_BLOCKED, file=source)
+            self._blocks = {ref.term: ref for ref in refs}
+            if verify == "eager":
+                for term in list(self._blocks):
+                    self._parse_block(term)
+        else:
+            raise DatabaseFormatError(
+                f"not a columnar index blob (magic {magic!r})"
+                + (f" in {source}" if source else ""))
         self._node_by_level_number: Dict[Tuple[int, int], Node] = {}
         for node in tree.iter_document_order():
             self._node_by_level_number[(node.level, node.jdewey[-1])] = node
         self.n_docs = 0
 
+    def _parse_block(self, term: str) -> LazyColumnarPostings:
+        """Verify (per the mode) and parse one v2 block on first touch."""
+        ref = self._blocks.pop(term)
+        try:
+            if self.verify != "off":
+                payload = verify_block(self._blob, ref, self._algorithm,
+                                       file=self.source)
+            else:
+                payload = self._blob[ref.offset: ref.offset + ref.length]
+            postings, _ = parse_lazy_postings(payload, 0, self.io)
+        except DatabaseCorruptError:
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_checksum_failures_total",
+                    {"file": self.source or "columnar"}).inc()
+            raise
+        except _PARSE_ERRORS as exc:
+            raise DatabaseCorruptError(
+                f"postings for term {term!r} do not parse: {exc}",
+                file=self.source, term=term) from exc
+        self._postings[term] = postings
+        return postings
+
     @property
     def vocabulary(self) -> List[str]:
-        return sorted(self._postings)
+        return sorted(set(self._postings) | set(self._blocks))
 
     def __contains__(self, term: str) -> bool:
-        return term in self._postings
+        return term in self._postings or term in self._blocks
 
     def term_postings(self, term: str):
         existing = self._postings.get(term)
         if existing is not None:
             return existing
+        if term in self._blocks:
+            return self._parse_block(term)
         return LazyColumnarPostings(term, [], [], [], self.io)
 
     def document_frequency(self, term: str) -> int:

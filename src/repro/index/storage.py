@@ -28,6 +28,9 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..reliability.checksum import (ALGORITHM_IDS, ALGORITHM_NAMES,
+                                    DEFAULT_ALGORITHM, checksum)
+from ..reliability.errors import DatabaseCorruptError, DatabaseFormatError
 from ..xmltree.dewey import Dewey
 from .columnar import ColumnarIndex, ColumnarPostings
 from .compression import (compress_column, decompress_column, read_varint,
@@ -269,6 +272,216 @@ def deserialize_inverted_index(data: bytes) -> Dict[str, PostingList]:
         plist, pos = deserialize_posting_list(data, pos)
         result[plist.term] = plist
     return result
+
+
+# ---------------------------------------------------------------------------
+# Blocked, checksummed containers (persistence format v2)
+# ---------------------------------------------------------------------------
+#
+# Layout: magic(4) | algorithm id(1) | varint n_terms | per-term block.
+# Each block is ``varint term_len | term | varint payload_len |
+# crc(4, big-endian) | payload`` where the payload is the *unchanged*
+# v1 per-term serialization above.  Repeating the term in the frame is
+# deliberate: a reader can name the offending keyword of a corrupt
+# block without parsing the corrupt payload, and a lazy reader can
+# locate a term's bytes without decompressing anything.
+
+_MAGIC_COLUMNAR_BLOCKED = b"JDXB"
+_MAGIC_DEWEY_BLOCKED = b"DWIB"
+
+#: Everything a malformed byte stream can make the v1 parsers raise --
+#: turned into the typed `DatabaseCorruptError` at this boundary so no
+#: raw IndexError/ValueError/MemoryError ever reaches a caller.
+_PARSE_ERRORS = (IndexError, KeyError, OverflowError, MemoryError,
+                 UnicodeDecodeError, ValueError)
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """Locator for one term's checksummed payload inside a container."""
+
+    term: str
+    offset: int        # payload start, as an offset into the container
+    length: int
+    crc: int
+
+
+def _serialize_blocked(magic: bytes, blocks: List[Tuple[str, bytes]],
+                       algorithm: str) -> bytes:
+    if algorithm not in ALGORITHM_IDS:
+        raise ValueError(f"unknown checksum algorithm {algorithm!r}; "
+                         f"one of {sorted(ALGORITHM_IDS)}")
+    out = bytearray(magic)
+    out.append(ALGORITHM_IDS[algorithm])
+    write_varint(out, len(blocks))
+    for term, payload in blocks:
+        term_bytes = term.encode("utf-8")
+        write_varint(out, len(term_bytes))
+        out.extend(term_bytes)
+        write_varint(out, len(payload))
+        out.extend(checksum(payload, algorithm).to_bytes(4, "big"))
+        out.extend(payload)
+    return bytes(out)
+
+
+def scan_blocked_container(data: bytes, magic: bytes,
+                           file: str = None
+                           ) -> Tuple[str, List[BlockRef]]:
+    """Walk a blocked container's framing without touching payloads.
+
+    Returns ``(algorithm_name, refs)``.  Raises `DatabaseFormatError`
+    on a wrong magic or unknown algorithm id and `DatabaseCorruptError`
+    when the framing runs off the end of the buffer (truncation).
+    """
+    if data[:4] != magic:
+        raise DatabaseFormatError(
+            f"bad magic {data[:4]!r} (expected {magic!r})"
+            + (f" in {file}" if file else ""))
+    if len(data) < 5:
+        raise DatabaseCorruptError(
+            "container truncated inside the header", file=file)
+    algo_id = data[4]
+    if algo_id not in ALGORITHM_NAMES:
+        raise DatabaseFormatError(
+            f"unknown checksum algorithm id {algo_id}"
+            + (f" in {file}" if file else ""))
+    algorithm = ALGORITHM_NAMES[algo_id]
+    refs: List[BlockRef] = []
+    try:
+        pos = 5
+        n_terms, pos = read_varint(data, pos)
+        for _ in range(n_terms):
+            term_len, pos = read_varint(data, pos)
+            term = data[pos: pos + term_len].decode("utf-8")
+            if len(data) < pos + term_len:
+                raise IndexError("term runs off the end")
+            pos += term_len
+            payload_len, pos = read_varint(data, pos)
+            crc = int.from_bytes(data[pos: pos + 4], "big")
+            pos += 4
+            if len(data) < pos + payload_len:
+                raise IndexError("payload runs off the end")
+            refs.append(BlockRef(term, pos, payload_len, crc))
+            pos += payload_len
+    except _PARSE_ERRORS as exc:
+        raise DatabaseCorruptError(
+            f"blocked container framing corrupt: {exc}",
+            file=file) from exc
+    return algorithm, refs
+
+
+def verify_block(data: bytes, ref: BlockRef, algorithm: str,
+                 file: str = None) -> bytes:
+    """Return `ref`'s payload after checking its checksum.
+
+    Raises `DatabaseCorruptError` naming the file and keyword on
+    mismatch -- the detection point for bit flips and short reads.
+    """
+    payload = data[ref.offset: ref.offset + ref.length]
+    if len(payload) != ref.length or checksum(payload, algorithm) != ref.crc:
+        raise DatabaseCorruptError(
+            f"checksum mismatch for term {ref.term!r}"
+            + (f" in {file}" if file else ""),
+            file=file, term=ref.term)
+    return payload
+
+
+def serialize_columnar_index_blocked(index: ColumnarIndex,
+                                     with_scores: bool = False,
+                                     score_mode: int = None,
+                                     algorithm: str = None) -> bytes:
+    """Format-v2 columnar container: v1 per-term payloads, checksummed."""
+    algorithm = algorithm if algorithm is not None else DEFAULT_ALGORITHM
+    blocks = [
+        (term, serialize_columnar_postings(index.term_postings(term),
+                                           with_scores, score_mode))
+        for term in index.vocabulary
+    ]
+    return _serialize_blocked(_MAGIC_COLUMNAR_BLOCKED, blocks, algorithm)
+
+
+def deserialize_columnar_index_blocked(data: bytes, verify: bool = True,
+                                       file: str = None
+                                       ) -> Dict[str, ColumnarPostings]:
+    """Load a format-v2 columnar container, verifying every block."""
+    algorithm, refs = scan_blocked_container(
+        data, _MAGIC_COLUMNAR_BLOCKED, file=file)
+    result: Dict[str, ColumnarPostings] = {}
+    for ref in refs:
+        payload = (verify_block(data, ref, algorithm, file=file) if verify
+                   else data[ref.offset: ref.offset + ref.length])
+        try:
+            postings, _ = deserialize_columnar_postings(payload, 0)
+        except _PARSE_ERRORS as exc:
+            raise DatabaseCorruptError(
+                f"postings for term {ref.term!r} do not parse: {exc}",
+                file=file, term=ref.term) from exc
+        result[postings.term] = postings
+    return result
+
+
+def serialize_inverted_index_blocked(index: InvertedIndex,
+                                     score_mode: int = 0,
+                                     algorithm: str = None) -> bytes:
+    """Format-v2 Dewey container: v1 per-term payloads, checksummed."""
+    algorithm = algorithm if algorithm is not None else DEFAULT_ALGORITHM
+    blocks = [
+        (term, serialize_posting_list(index.term_list(term), score_mode))
+        for term in index.vocabulary
+    ]
+    return _serialize_blocked(_MAGIC_DEWEY_BLOCKED, blocks, algorithm)
+
+
+def deserialize_inverted_index_blocked(data: bytes, verify: bool = True,
+                                       file: str = None
+                                       ) -> Dict[str, PostingList]:
+    """Load a format-v2 Dewey container, verifying every block."""
+    algorithm, refs = scan_blocked_container(
+        data, _MAGIC_DEWEY_BLOCKED, file=file)
+    result: Dict[str, PostingList] = {}
+    for ref in refs:
+        payload = (verify_block(data, ref, algorithm, file=file) if verify
+                   else data[ref.offset: ref.offset + ref.length])
+        try:
+            plist, _ = deserialize_posting_list(payload, 0)
+        except _PARSE_ERRORS as exc:
+            raise DatabaseCorruptError(
+                f"posting list for term {ref.term!r} does not parse: {exc}",
+                file=file, term=ref.term) from exc
+        result[plist.term] = plist
+    return result
+
+
+def guarded_deserialize_columnar(data: bytes, file: str = None
+                                 ) -> Dict[str, ColumnarPostings]:
+    """v1 `deserialize_columnar_index` with typed errors (legacy loads)."""
+    try:
+        if data[:4] != _MAGIC_COLUMNAR:
+            raise DatabaseFormatError(
+                f"not a columnar index blob"
+                + (f" ({file})" if file else ""))
+        return deserialize_columnar_index(data)
+    except DatabaseFormatError:
+        raise
+    except _PARSE_ERRORS as exc:
+        raise DatabaseCorruptError(
+            f"columnar blob does not parse: {exc}", file=file) from exc
+
+
+def guarded_deserialize_inverted(data: bytes, file: str = None
+                                 ) -> Dict[str, PostingList]:
+    """v1 `deserialize_inverted_index` with typed errors (legacy loads)."""
+    try:
+        if data[:4] != _MAGIC_DEWEY:
+            raise DatabaseFormatError(
+                f"not a Dewey inverted-list blob"
+                + (f" ({file})" if file else ""))
+        return deserialize_inverted_index(data)
+    except DatabaseFormatError:
+        raise
+    except _PARSE_ERRORS as exc:
+        raise DatabaseCorruptError(
+            f"Dewey blob does not parse: {exc}", file=file) from exc
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,69 @@
+"""Fault-injectable, retryable file primitives for the persistence layer.
+
+`read_bytes` is the single chokepoint every `repro.diskdb` read goes
+through: chunked reads (so short-read faults are observable), optional
+`FaultInjector` wrapping, optional `RetryPolicy` healing, and byte
+counters.  `write_bytes` / `fsync_dir` are the building blocks of the
+atomic save protocol (write to a temp dir, fsync data, `os.replace`
+into place, fsync the directory, manifest last).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .faults import FaultInjector
+from .retry import RetryPolicy
+
+CHUNK_SIZE = 64 * 1024
+
+
+def read_bytes(path: str, injector: Optional[FaultInjector] = None,
+               retry: Optional[RetryPolicy] = None,
+               metrics=None, op: str = "read") -> bytes:
+    """Read a whole file in chunks, with faults and retries applied.
+
+    Each retry attempt reopens the file and restarts from offset zero,
+    so a transient mid-read error never yields a spliced buffer.
+    """
+
+    def attempt() -> bytes:
+        handle = open(path, "rb")
+        if injector is not None:
+            handle = injector.wrap(handle, path)
+        chunks = []
+        with handle:
+            while True:
+                chunk = handle.read(CHUNK_SIZE)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        return b"".join(chunks)
+
+    if retry is None:
+        return attempt()
+    return retry.call(attempt, metrics=metrics, op=op)
+
+
+def write_bytes(path: str, data: bytes, fsync: bool = True) -> None:
+    """Write `data` to `path` and optionally fsync the file."""
+    with open(path, "wb") as handle:
+        handle.write(data)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so renames inside it are durable (POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)

@@ -49,7 +49,9 @@ class TestSearch:
         assert "more" in out
 
     def test_missing_file_error(self, capsys):
-        assert main(["search", "/nonexistent.xml", "xml"]) == 1
+        from repro.cli import EXIT_MISSING
+
+        assert main(["search", "/nonexistent.xml", "xml"]) == EXIT_MISSING
         assert "error" in capsys.readouterr().err
 
 

@@ -68,9 +68,16 @@ class TestRoundtrip:
         path, original = saved
         with open(os.path.join(path, "meta.json")) as f:
             meta = json.load(f)
-        assert meta["format_version"] == 1
+        assert meta["format_version"] == 2
         assert meta["n_nodes"] == len(original.tree)
         assert meta["damping_base"] == pytest.approx(0.9)
+        manifest = meta["checksum"]
+        assert manifest["algorithm"] in ("crc32", "crc32c")
+        for name in ("document.xml", "columnar.bin", "dewey.bin"):
+            blob = open(os.path.join(path, name), "rb").read()
+            from repro.reliability.checksum import hex_digest
+            assert manifest["files"][name] == hex_digest(
+                blob, manifest["algorithm"])
 
     def test_custom_damping_restored(self, tmp_path):
         db = XMLDatabase.from_xml_text(
@@ -146,4 +153,169 @@ class TestFailureModes:
         with open(blob_path, "r+b") as f:
             f.write(b"XXXX")
         with pytest.raises(ValueError):
+            load_database(path)
+
+
+class _Crash(RuntimeError):
+    """Stands in for the process dying mid-save."""
+
+
+def _crash_at(stage):
+    def hook(s):
+        if s == stage:
+            raise _Crash(stage)
+    return hook
+
+
+class TestAtomicSave:
+    """Kill the save at each commit stage; the directory must either
+    still load as the old database or fail loudly with a typed error --
+    never load as a silent mixture."""
+
+    NEW_XML = "<lib><entry>freshly saved corpus</entry></lib>"
+
+    @pytest.mark.parametrize("stage", ["tmp-written", "data-replaced"])
+    def test_fresh_dir_crash_before_manifest(self, tmp_path, small_db,
+                                             monkeypatch, stage):
+        import repro.diskdb as diskdb
+
+        monkeypatch.setattr(diskdb, "_fault_hook", _crash_at(stage))
+        path = str(tmp_path / "db")
+        with pytest.raises(_Crash):
+            save_database(small_db, path)
+        # No manifest landed, so the directory is not (yet) a database.
+        with pytest.raises(DatabaseFormatError):
+            load_database(path)
+        # The staging directory never survives, even on a crash.
+        assert not [name for name in os.listdir(tmp_path)
+                    if ".tmp-" in name]
+
+    def test_fresh_dir_crash_after_manifest(self, tmp_path, small_db,
+                                            monkeypatch):
+        import repro.diskdb as diskdb
+
+        monkeypatch.setattr(diskdb, "_fault_hook",
+                            _crash_at("meta-replaced"))
+        path = str(tmp_path / "db")
+        with pytest.raises(_Crash):
+            save_database(small_db, path)
+        # The manifest's arrival is the commit point: the save took.
+        assert load_database(path).document_frequency("xml") > 0
+
+    def test_overwrite_crash_keeps_old_database(self, tmp_path, small_db,
+                                                monkeypatch):
+        import repro.diskdb as diskdb
+
+        path = str(tmp_path / "db")
+        small_db.save(path)
+        new_db = XMLDatabase.from_xml_text(self.NEW_XML)
+        monkeypatch.setattr(diskdb, "_fault_hook",
+                            _crash_at("tmp-written"))
+        with pytest.raises(_Crash):
+            save_database(new_db, path)
+        loaded = load_database(path)
+        assert loaded.document_frequency("xml") == \
+            small_db.document_frequency("xml")
+        assert loaded.document_frequency("freshly") == 0
+
+    def test_overwrite_crash_between_data_and_manifest_is_detected(
+            self, tmp_path, small_db, monkeypatch):
+        import repro.diskdb as diskdb
+        from repro.reliability import DatabaseCorruptError
+
+        path = str(tmp_path / "db")
+        small_db.save(path)
+        new_db = XMLDatabase.from_xml_text(self.NEW_XML)
+        monkeypatch.setattr(diskdb, "_fault_hook",
+                            _crash_at("data-replaced"))
+        with pytest.raises(_Crash):
+            save_database(new_db, path)
+        # New data files under the old manifest: the stale digests
+        # disagree, so the mixture is rejected, not absorbed.
+        with pytest.raises(DatabaseCorruptError):
+            load_database(path)
+
+    def test_overwrite_crash_after_manifest_is_new_database(
+            self, tmp_path, small_db, monkeypatch):
+        import repro.diskdb as diskdb
+
+        path = str(tmp_path / "db")
+        small_db.save(path)
+        new_db = XMLDatabase.from_xml_text(self.NEW_XML)
+        monkeypatch.setattr(diskdb, "_fault_hook",
+                            _crash_at("meta-replaced"))
+        with pytest.raises(_Crash):
+            save_database(new_db, path)
+        assert load_database(path).document_frequency("freshly") > 0
+
+
+class TestLazyAndVerifyModes:
+    def test_lazy_load_matches_eager(self, saved):
+        path, original = saved
+        lazy = load_database(path, lazy=True, verify="lazy")
+        a = original.search("xml data")
+        b = lazy.search("xml data")
+        assert [(r.node.dewey, round(r.score, 12)) for r in a] == \
+            [(r.node.dewey, round(r.score, 12)) for r in b]
+
+    def test_verify_off_loads(self, saved):
+        path, _ = saved
+        assert load_database(path, verify="off").search("xml data")
+
+    def test_unknown_verify_mode_rejected(self, saved):
+        path, _ = saved
+        with pytest.raises(ValueError, match="verify"):
+            load_database(path, verify="paranoid")
+
+
+class TestLegacyV1:
+    def _write_v1(self, db, path):
+        from repro.index import storage
+
+        os.makedirs(path, exist_ok=True)
+        blobs = {
+            "document.xml": db.tree.to_xml().encode("utf-8"),
+            "columnar.bin": storage.serialize_columnar_index(
+                db.columnar_index, score_mode=storage.SCORES_EXACT),
+            "dewey.bin": storage.serialize_inverted_index(
+                db.inverted_index, score_mode=storage.SCORES_EXACT),
+        }
+        meta = {
+            "format_version": 1,
+            "jdewey_gap": db.encoder.gap,
+            "n_docs": db.inverted_index.n_docs,
+            "damping_base": db.ranking.damping.base,
+            "tokenizer": {
+                "stopwords": sorted(db.tokenizer.stopwords),
+                "min_length": db.tokenizer.min_length,
+            },
+            "n_nodes": len(db.tree),
+        }
+        for name, blob in blobs.items():
+            with open(os.path.join(path, name), "wb") as fh:
+                fh.write(blob)
+        with open(os.path.join(path, "meta.json"), "w") as fh:
+            json.dump(meta, fh)
+
+    def test_v1_directory_still_loads(self, tmp_path, small_db):
+        path = str(tmp_path / "v1db")
+        self._write_v1(small_db, path)
+        loaded = load_database(path)
+        a = small_db.search("xml data")
+        b = loaded.search("xml data")
+        assert [(r.node.dewey, round(r.score, 12)) for r in a] == \
+            [(r.node.dewey, round(r.score, 12)) for r in b]
+
+    def test_v1_corruption_still_typed(self, tmp_path, small_db):
+        from repro.reliability import DatabaseCorruptError
+
+        path = str(tmp_path / "v1db")
+        self._write_v1(small_db, path)
+        blob_path = os.path.join(path, "columnar.bin")
+        with open(blob_path, "rb") as fh:
+            blob = fh.read()
+        with open(blob_path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        # No digests in v1 -- the guarded parser is the only net.
+        with pytest.raises(DatabaseFormatError):
             load_database(path)

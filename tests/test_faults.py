@@ -1,0 +1,264 @@
+"""Fault-injected disk I/O: injector determinism, retry healing, and
+the end-to-end guarantee that a database loaded through a faulty disk
+either answers *identically* to a clean load or fails with a typed
+error -- never in between.
+
+The suite honors ``REPRO_FAULT_SEED`` (the CI reliability job runs it
+under two seeds) so the probabilistic paths get fresh coverage without
+giving up reproducibility: a failure always reports the seed to replay.
+"""
+
+import io
+import os
+
+import pytest
+
+from repro import XMLDatabase
+from repro.diskdb import load_database, save_database
+from repro.obs import MetricsRegistry
+from repro.reliability import (DatabaseCorruptError, DatabaseFormatError,
+                               FaultInjector,
+                               InjectedFault, RetryExhaustedError,
+                               RetryPolicy)
+from repro.reliability.faults import (BIT_FLIP, IO_ERROR, LATENCY,
+                                      SHORT_READ)
+from repro.reliability.io import read_bytes
+from tests.conftest import SMALL_XML
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+QUERIES = ["xml data", "keyword search", "data models", "xml",
+           "relational data", "top data", "search processing",
+           "keyword data xml", "title", "abstract"]
+
+
+@pytest.fixture(scope="module")
+def db_dir(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("faults") / "db")
+    db = XMLDatabase.from_xml_text(SMALL_XML)
+    db.columnar_index
+    db.inverted_index
+    save_database(db, path)
+    return path
+
+
+def _answers(db):
+    """A comparable transcript of 50 queries (5 passes over 10)."""
+    out = []
+    for _pass in range(5):
+        for query in QUERIES:
+            results = db.search(query, use_cache=False)
+            out.append([(r.node.dewey, round(r.score, 12))
+                        for r in results])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_same_seed_same_fault_sequence(self):
+        a = FaultInjector(error_rate=0.3, short_read_rate=0.1, seed=SEED)
+        b = FaultInjector(error_rate=0.3, short_read_rate=0.1, seed=SEED)
+        assert [a.next_fault() for _ in range(200)] == \
+            [b.next_fault() for _ in range(200)]
+
+    def test_reset_rewinds(self):
+        inj = FaultInjector(error_rate=0.5, seed=SEED)
+        first = [inj.next_fault() for _ in range(50)]
+        inj.reset()
+        assert [inj.next_fault() for _ in range(50)] == first
+        assert sum(inj.injected.values()) == first.count(IO_ERROR)
+
+    def test_script_overrides_rates(self):
+        inj = FaultInjector(error_rate=1.0,
+                            script=[None, IO_ERROR, SHORT_READ])
+        assert inj.next_fault() is None
+        assert inj.next_fault() == IO_ERROR
+        assert inj.next_fault() == SHORT_READ
+        assert inj.next_fault() is None  # exhausted-then-clean
+        assert inj.injected[IO_ERROR] == 1
+        assert inj.injected[SHORT_READ] == 1
+
+    def test_unknown_scripted_fault_rejected(self):
+        inj = FaultInjector(script=["disk-on-fire"])
+        with pytest.raises(ValueError, match="disk-on-fire"):
+            inj.next_fault()
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="error_rate"):
+            FaultInjector(error_rate=1.5)
+
+    def test_wrapped_file_io_error(self):
+        inj = FaultInjector(script=[IO_ERROR])
+        with inj.wrap(io.BytesIO(b"hello"), "x.bin") as fh:
+            with pytest.raises(InjectedFault) as err:
+                fh.read()
+        assert err.value.kind == IO_ERROR
+        assert err.value.path == "x.bin"
+        assert isinstance(err.value, IOError)
+
+    def test_wrapped_file_short_read_forces_eof(self):
+        inj = FaultInjector(script=[SHORT_READ])
+        fh = inj.wrap(io.BytesIO(b"0123456789"), "x.bin")
+        chunk = fh.read(10)
+        assert 0 < len(chunk) < 10
+        assert fh.read(10) == b""  # premature EOF, not a resync
+
+    def test_wrapped_file_bit_flip(self):
+        inj = FaultInjector(script=[BIT_FLIP], seed=SEED)
+        fh = inj.wrap(io.BytesIO(b"\x00" * 32), "x.bin")
+        data = fh.read()
+        assert len(data) == 32
+        assert sum(bin(b).count("1") for b in data) == 1
+
+    def test_latency_uses_injected_sleep(self):
+        sleeps = []
+        inj = FaultInjector(script=[LATENCY], latency_ms=25.0,
+                            sleep=sleeps.append)
+        fh = inj.wrap(io.BytesIO(b"abc"), "x.bin")
+        assert fh.read() == b"abc"
+        assert sleeps == [0.025]
+
+    def test_metrics_published(self):
+        registry = MetricsRegistry()
+        inj = FaultInjector(script=[IO_ERROR, BIT_FLIP], metrics=registry)
+        fh = inj.wrap(io.BytesIO(b"abc"), "x.bin")
+        with pytest.raises(InjectedFault):
+            fh.read()
+        assert registry.counter("repro_injected_faults_total",
+                                {"kind": IO_ERROR}).value == 1
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_transient_fault_heals(self):
+        registry = MetricsRegistry()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise InjectedFault("boom", kind=IO_ERROR, path="x")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _s: None)
+        assert policy.call(flaky, metrics=registry, op="test") == "ok"
+        assert registry.counter("repro_io_attempts_total",
+                                {"op": "test"}).value == 3
+        assert registry.counter("repro_io_retries_total",
+                                {"op": "test"}).value == 2
+        assert registry.counter("repro_io_recovered_total",
+                                {"op": "test"}).value == 1
+
+    def test_exhaustion_raises_typed_with_cause(self):
+        registry = MetricsRegistry()
+
+        def always():
+            raise InjectedFault("boom", kind=IO_ERROR, path="x")
+
+        policy = RetryPolicy(max_attempts=2, sleep=lambda _s: None)
+        with pytest.raises(RetryExhaustedError) as err:
+            policy.call(always, metrics=registry, op="test")
+        assert err.value.attempts == 2
+        assert isinstance(err.value.__cause__, InjectedFault)
+        assert registry.counter("repro_io_retry_exhausted_total",
+                                {"op": "test"}).value == 1
+
+    def test_missing_file_is_permanent(self):
+        calls = {"n": 0}
+
+        def missing():
+            calls["n"] += 1
+            raise FileNotFoundError("gone")
+
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _s: None)
+        with pytest.raises(FileNotFoundError):
+            policy.call(missing)
+        assert calls["n"] == 1
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_ms=10.0, multiplier=2.0, jitter=0.0)
+        assert policy.delay_ms(1) == 10.0
+        assert policy.delay_ms(2) == 20.0
+        assert policy.delay_ms(3) == 40.0
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+# ---------------------------------------------------------------------------
+# read_bytes through faults
+# ---------------------------------------------------------------------------
+
+
+class TestFaultyReadBytes:
+    def test_transient_error_heals(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"payload" * 100)
+        inj = FaultInjector(script=[IO_ERROR])
+        policy = RetryPolicy(sleep=lambda _s: None)
+        assert read_bytes(str(path), injector=inj,
+                          retry=policy) == b"payload" * 100
+
+    def test_unretried_injector_surfaces_raw_fault(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"payload")
+        inj = FaultInjector(script=[IO_ERROR])
+        with pytest.raises(InjectedFault):
+            read_bytes(str(path), injector=inj)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: load_database through a faulty disk
+# ---------------------------------------------------------------------------
+
+
+class TestFaultyLoads:
+    def test_transient_faults_yield_identical_answers(self, db_dir):
+        clean = load_database(db_dir)
+        expected = _answers(clean)
+        inj = FaultInjector(error_rate=0.2, latency_rate=0.1,
+                            latency_ms=0.0, seed=SEED)
+        policy = RetryPolicy(max_attempts=6, sleep=lambda _s: None,
+                             seed=SEED)
+        faulty = load_database(db_dir, injector=inj, retry=policy)
+        assert _answers(faulty) == expected, (
+            f"faulty-disk load diverged from clean load "
+            f"(REPRO_FAULT_SEED={SEED})")
+
+    def test_default_policy_installed_with_injector(self, db_dir):
+        # retry=None + injector set must not surface transient faults.
+        inj = FaultInjector(script=[IO_ERROR], sleep=lambda _s: None)
+        db = load_database(db_dir, injector=inj)
+        assert db.search("xml data")
+        assert inj.injected[IO_ERROR] == 1
+
+    def test_permanent_fault_is_typed(self, db_dir):
+        inj = FaultInjector(error_rate=1.0, seed=SEED)
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _s: None)
+        with pytest.raises(DatabaseCorruptError) as err:
+            load_database(db_dir, injector=inj, retry=policy)
+        assert isinstance(err.value.__cause__, RetryExhaustedError)
+
+    def test_short_reads_are_typed(self, db_dir):
+        # A truncated meta.json raises the parent DatabaseFormatError;
+        # a truncated data file fails its digest (DatabaseCorruptError,
+        # the subclass).  Either way: typed, never silent.
+        inj = FaultInjector(short_read_rate=1.0, seed=SEED)
+        policy = RetryPolicy(max_attempts=2, sleep=lambda _s: None)
+        with pytest.raises(DatabaseFormatError):
+            load_database(db_dir, injector=inj, retry=policy)
+
+    def test_bit_flips_are_typed(self, db_dir):
+        inj = FaultInjector(bit_flip_rate=1.0, seed=SEED)
+        policy = RetryPolicy(max_attempts=2, sleep=lambda _s: None)
+        with pytest.raises(DatabaseFormatError):
+            load_database(db_dir, injector=inj, retry=policy)

@@ -534,6 +534,74 @@ class TestOverheadGuard:
         overhead_ms = min(_timed(null_spans) for _ in range(3))
         assert overhead_ms <= 0.05 * query_ms
 
+    def test_deadline_polling_overhead_within_budget(self, corpus_db):
+        """Same arithmetic guard for query budgets: (deadline polls per
+        query) x (measured cost of one `expired()` call) must stay
+        under 5% of the query's wall time.  Polls happen once per level
+        on the complete-search path and once per rank-join retrieval on
+        the top-K path, so the count is bounded by the work counters."""
+        from repro.reliability import Deadline
+
+        db = _fresh_db(corpus_db)
+
+        def run():
+            db.search("gamma beta", use_cache=False,
+                      deadline=Deadline(3_600_000.0))
+
+        run()  # warm indexes/postings outside the timed region
+        query_ms = min(_timed(run) for _ in range(3))
+
+        _results, stats = db.search("gamma beta", use_cache=False,
+                                    with_stats=True)
+        top = db.search_topk("gamma beta", k=10)
+        # Level polls, rank-join cadence polls (one per 16 retrievals,
+        # the emission-attempt cadence), and generous headroom for the
+        # per-fetch and buffer-drain checks.
+        polls = 2 * (stats.levels_processed
+                     + top.stats.tuples_scanned // 16 + 16)
+
+        never = Deadline(3_600_000.0)
+
+        def poll():
+            for _ in range(polls):
+                never.expired()
+
+        overhead_ms = min(_timed(poll) for _ in range(3))
+        assert overhead_ms <= 0.05 * query_ms
+
+    def test_checksum_verification_overhead_within_budget(
+            self, small_db, tmp_path):
+        """Digesting the stored blobs must cost under 5% of an
+        unverified load: (bytes hashed) x (measured per-byte digest
+        cost), against the `verify="off"` wall time."""
+        import json
+        import os
+
+        from repro.diskdb import load_database
+        from repro.reliability.checksum import checksum
+
+        path = str(tmp_path / "db")
+        small_db.save(path)
+        with open(os.path.join(path, "meta.json")) as fh:
+            manifest = json.load(fh)["checksum"]
+        blobs = []
+        for name in manifest["files"]:
+            with open(os.path.join(path, name), "rb") as fh:
+                blobs.append(fh.read())
+
+        def load_unverified():
+            load_database(path, verify="off")
+
+        load_unverified()
+        load_ms = min(_timed(load_unverified) for _ in range(3))
+
+        def digest_all():
+            for blob in blobs:
+                checksum(blob, manifest["algorithm"])
+
+        digest_ms = min(_timed(digest_all) for _ in range(3))
+        assert digest_ms <= 0.05 * load_ms
+
 
 def _timed(fn):
     import time
