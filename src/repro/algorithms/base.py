@@ -103,6 +103,10 @@ class ExecutionStats:
     partial: bool = False
     levels_skipped: int = 0
     per_level_plan: List[Tuple[int, str]] = field(default_factory=list)
+    # EXPLAIN ANALYZE payload (repro.obs.audit.PlanAudit), attached by
+    # `XMLDatabase.search(audit=True)` / `explain(analyze=True)`.  Not a
+    # counter: `merge` keeps the first non-None audit it sees.
+    audit: Optional[object] = None
 
     _COUNTER_FIELDS = (
         "levels_processed", "joins", "merge_joins", "index_joins",
@@ -119,6 +123,8 @@ class ExecutionStats:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.partial = self.partial or other.partial
         self.per_level_plan.extend(other.per_level_plan)
+        if self.audit is None:
+            self.audit = other.audit
         return self
 
     def __iadd__(self, other: "ExecutionStats") -> "ExecutionStats":

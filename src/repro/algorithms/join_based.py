@@ -44,6 +44,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..index.columnar import ColumnarIndex, ColumnarPostings
+from ..obs.profiler import profile_phase
 from ..obs.tracing import NULL_TRACER
 from ..planner.plans import JoinPlanner
 from ..reliability.deadline import Deadline
@@ -119,7 +120,8 @@ class JoinBasedSearch:
         terms = list(terms)
         if not terms:
             return [], stats
-        with tracer.span("postings_fetch", terms=list(terms)) as pspan:
+        with tracer.span("postings_fetch", terms=list(terms)) as pspan, \
+                profile_phase("fetch"):
             if self.postings_cache is not None:
                 postings = self.postings_cache.query_postings(self.index,
                                                               terms)
@@ -173,7 +175,8 @@ class JoinBasedSearch:
             return
         stats.levels_processed += 1
         plan_mark = len(stats.per_level_plan)
-        with tracer.span("join", level=level) as jspan:
+        with tracer.span("join", level=level) as jspan, \
+                profile_phase("join"):
             joined = self.planner.intersect_all(
                 [c.distinct for c in columns], stats, level)
             jspan.tag(
@@ -187,7 +190,8 @@ class JoinBasedSearch:
             return
         # Run boundaries of every joined value in every column, in bulk.
         run_bounds = [column.runs_of(joined) for column in columns]
-        with tracer.span("score", level=level) as sspan:
+        with tracer.span("score", level=level) as sspan, \
+                profile_phase("score"):
             if self.vectorized:
                 emitted_at_level = self._check_level_vectorized(
                     joined, level, postings, columns, run_bounds,
@@ -212,7 +216,8 @@ class JoinBasedSearch:
         # Erase every joined range *after* the level is fully checked:
         # same-level candidates never interact (disjoint subtrees).
         erasure_mark = stats.erasures
-        with tracer.span("erase", level=level) as espan:
+        with tracer.span("erase", level=level) as espan, \
+                profile_phase("erase"):
             if self.vectorized:
                 for t, column in enumerate(columns):
                     lows, highs = run_bounds[t]

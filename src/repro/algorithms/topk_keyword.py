@@ -39,6 +39,7 @@ import numpy as np
 
 from ..index.columnar import ColumnarIndex, ColumnarPostings
 from ..index.scored import ColumnCursor, ScoredPostings
+from ..obs.profiler import profile_phase
 from ..obs.tracing import NULL_TRACER
 from ..planner.plans import JoinPlanner
 from ..reliability.deadline import Deadline
@@ -131,7 +132,8 @@ class TopKKeywordSearch:
             if len(emitted) >= k:
                 break
         generator.close()
-        with self.tracer.span("topk_termination") as tspan:
+        with self.tracer.span("topk_termination") as tspan, \
+                profile_phase("topk"):
             tspan.tag(k=k, emitted=len(emitted),
                       terminated_early=not state.finished,
                       partial=state.partial,
@@ -184,7 +186,8 @@ class TopKKeywordSearch:
 
         buffer: List[Tuple[float, Tuple[int, ...], SearchResult]] = []
         try:
-            with tracer.span("postings_fetch", terms=list(terms)) as pspan:
+            with tracer.span("postings_fetch", terms=list(terms)) as pspan, \
+                    profile_phase("fetch"):
                 postings = self.index.query_postings(terms)
                 pspan.tag(list_sizes=[len(p) for p in postings])
         except DeadlineExceeded:
@@ -252,7 +255,8 @@ class TopKKeywordSearch:
             # `yield`s, so its duration includes consumer time when the
             # stream is driven incrementally.
             steps_since_attempt = 0
-            with tracer.span("rank_join", level=level) as jspan:
+            with tracer.span("rank_join", level=level) as jspan, \
+                    profile_phase("rank_join"):
                 while join.step():
                     steps_since_attempt += 1
                     if (len(join.completed) == consumed
@@ -373,7 +377,8 @@ class TopKKeywordSearch:
                      level: int) -> None:
         plan_mark = len(stats.per_level_plan)
         erasure_mark = stats.erasures
-        with self.tracer.span("erase", level=level) as espan:
+        with self.tracer.span("erase", level=level) as espan, \
+                profile_phase("erase"):
             joined = self.planner.intersect_all(
                 [c.distinct for c in columns], stats, level)
             espan.tag(

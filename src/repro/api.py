@@ -23,6 +23,7 @@ from .algorithms.base import (ELCA, EmptyResultError, ExecutionStats,
                               SearchResult, TopKResult, check_semantics,
                               sort_by_score)
 from .obs.metrics import MetricsRegistry, get_registry
+from .obs.profiler import PhaseProfiler, profile_phase
 from .obs.slowlog import SlowQueryLog
 from .obs.tracing import NULL_TRACER, Span, Tracer
 from .algorithms.hybrid import HybridTopKSearch
@@ -123,7 +124,11 @@ class XMLDatabase:
     pass a live `Tracer` as ``tracer`` to record per-query span trees
     (the default `NullTracer` keeps the hot path unchanged); pass
     ``slow_log`` (or just ``slow_query_ms``) to capture query, stats
-    and trace of every over-threshold outlier.
+    and trace of every over-threshold outlier.  The phase profiler
+    (`repro.obs.profiler`) is *on* by default -- every query's wall
+    time is attributed to pipeline phases and published as
+    ``repro_phase_time_ms{phase=...}``; pass
+    ``profiler=repro.obs.NULL_PROFILER`` to switch it off.
     """
 
     def __init__(self, tree: XMLTree, tokenizer: Optional[Tokenizer] = None,
@@ -135,7 +140,8 @@ class XMLDatabase:
                  tracer=None,
                  metrics: Optional[MetricsRegistry] = None,
                  slow_log: Optional[SlowQueryLog] = None,
-                 slow_query_ms: Optional[float] = None):
+                 slow_query_ms: Optional[float] = None,
+                 profiler=None):
         if not tree.frozen:
             tree.freeze()
         self.tree = tree
@@ -144,6 +150,8 @@ class XMLDatabase:
         self.encoder = JDeweyEncoder(tree, gap=jdewey_gap)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else get_registry()
+        self.profiler = (profiler if profiler is not None
+                         else PhaseProfiler(metrics=self.metrics))
         if slow_log is None and slow_query_ms is not None:
             slow_log = SlowQueryLog(threshold_ms=slow_query_ms)
         self.slow_log = slow_log
@@ -242,7 +250,9 @@ class XMLDatabase:
                deadline: Optional[Union[Deadline, float]] = None,
                timeout_ms: Optional[float] = None,
                on_deadline: Optional[str] = None,
-               with_stats: bool = False):
+               with_stats: bool = False,
+               audit: bool = False,
+               shadow: str = "off"):
         """Complete result set, in document order.
 
         ``algorithm`` is one of ``join`` (the paper's join-based
@@ -264,17 +274,37 @@ class XMLDatabase:
         Budgets are enforced on the ``join`` path; the in-memory
         baselines ignore them.  Partial results are never cached.
 
+        ``audit=True`` runs the query under the plan auditor
+        (`repro.obs.audit`): ``stats.audit`` then carries a `PlanAudit`
+        with per-level predicted vs. actual cardinality, q-error and
+        regret (pass ``with_stats=True`` to see it; the run bypasses
+        the result cache so the audited plan actually executes).
+        ``shadow`` ("off"/"sampled"/"all") additionally times the
+        not-chosen join algorithm for measured regret.  Audit requires
+        the ``join`` algorithm -- the one with a section III-C plan.
+
         Returns the result list, or ``(results, stats)`` with
         ``with_stats=True``.
         """
         check_semantics(semantics)
         deadline = Deadline.coerce(deadline, timeout_ms, on_deadline)
+        auditor = None
+        if audit:
+            if algorithm != "join":
+                raise ValueError(
+                    "audit=True requires algorithm='join' -- only the "
+                    "join-based plan has section III-C decisions to audit")
+            from .obs.audit import PlanAuditor
+
+            auditor = PlanAuditor(planner, shadow=shadow)
+            planner = auditor.planner
         tracer = self.tracer
         start = time.perf_counter()
         stats: Optional[ExecutionStats] = None
-        with tracer.span("query", op="search", semantics=semantics,
-                         algorithm=algorithm) as qspan:
-            with tracer.span("parse"):
+        with self.profiler.profile() as prof, \
+                tracer.span("query", op="search", semantics=semantics,
+                            algorithm=algorithm) as qspan:
+            with tracer.span("parse"), profile_phase("parse"):
                 terms = self._terms(query)
             qspan.tag(terms=list(terms))
             if strict:
@@ -293,11 +323,15 @@ class XMLDatabase:
                 try:
                     results, stats = self._complete_results(
                         terms, semantics, algorithm, planner,
-                        deadline=deadline)
+                        deadline=deadline,
+                        observer=(auditor.observer if auditor is not None
+                                  else None))
                 except DeadlineExceeded:
                     self.metrics.counter("repro_deadline_hits_total",
                                          {"outcome": "error"}).inc()
                     raise
+                if auditor is not None:
+                    stats.audit = auditor.finish(terms, semantics)
                 if stats.partial:
                     self.metrics.counter("repro_deadline_hits_total",
                                          {"outcome": "partial"}).inc()
@@ -307,7 +341,8 @@ class XMLDatabase:
                                            partial=stats.partial)
         self._record_query("search", terms, semantics, algorithm, None,
                            (time.perf_counter() - start) * 1000.0, stats,
-                           qspan if tracer.enabled else None)
+                           qspan if tracer.enabled else None,
+                           phases=prof.phases if prof is not None else None)
         if with_stats:
             return results, stats
         return results
@@ -315,7 +350,8 @@ class XMLDatabase:
     def _complete_results(self, terms: List[str], semantics: str,
                           algorithm: str,
                           planner: Optional[JoinPlanner] = None,
-                          deadline: Optional[Deadline] = None
+                          deadline: Optional[Deadline] = None,
+                          observer=None
                           ) -> Tuple[List[SearchResult], ExecutionStats]:
         """Uncached complete-evaluation dispatch shared by `search` and
         `search_batch`."""
@@ -330,8 +366,9 @@ class XMLDatabase:
                 # partial policy at level boundaries.
                 with deadline_scope(deadline):
                     return engine.evaluate(terms, semantics,
+                                           observer=observer,
                                            deadline=deadline)
-            return engine.evaluate(terms, semantics)
+            return engine.evaluate(terms, semantics, observer=observer)
         if algorithm == "stack":
             return StackBasedSearch(self.inverted_index).evaluate(
                 terms, semantics)
@@ -381,9 +418,10 @@ class XMLDatabase:
         deadline = Deadline.coerce(deadline, timeout_ms, on_deadline)
         tracer = self.tracer
         start = time.perf_counter()
-        with tracer.span("query", op="topk", semantics=semantics,
-                         algorithm=algorithm, k=k) as qspan:
-            with tracer.span("parse"):
+        with self.profiler.profile() as prof, \
+                tracer.span("query", op="topk", semantics=semantics,
+                            algorithm=algorithm, k=k) as qspan:
+            with tracer.span("parse"), profile_phase("parse"):
                 terms = self._terms(query)
             qspan.tag(terms=list(terms))
             if strict:
@@ -401,7 +439,8 @@ class XMLDatabase:
                 qspan.tag(partial=True)
         self._record_query("topk", terms, semantics, algorithm, k,
                            (time.perf_counter() - start) * 1000.0,
-                           top.stats, qspan if tracer.enabled else None)
+                           top.stats, qspan if tracer.enabled else None,
+                           phases=prof.phases if prof is not None else None)
         return top
 
     def _topk_result(self, terms: List[str], semantics: str, algorithm: str,
@@ -495,9 +534,10 @@ class XMLDatabase:
 
         def one(query) -> Tuple[List[SearchResult], ExecutionStats, float]:
             start = time.perf_counter()
-            with tracer.span("query", op="batch", semantics=semantics,
-                             algorithm=algorithm, k=k) as qspan:
-                with tracer.span("parse"):
+            with self.profiler.profile() as prof, \
+                    tracer.span("query", op="batch", semantics=semantics,
+                                algorithm=algorithm, k=k) as qspan:
+                with tracer.span("parse"), profile_phase("parse"):
                     terms = self._terms(query)
                 qspan.tag(terms=list(terms))
                 results: Optional[List[SearchResult]] = None
@@ -532,7 +572,9 @@ class XMLDatabase:
             elapsed_ms = (time.perf_counter() - start) * 1000.0
             self._record_query("batch", terms, semantics, algorithm, k,
                                elapsed_ms, stats,
-                               qspan if tracer.enabled else None)
+                               qspan if tracer.enabled else None,
+                               phases=(prof.phases if prof is not None
+                                       else None))
             return results, stats, elapsed_ms
 
         import threading
@@ -632,7 +674,10 @@ class XMLDatabase:
     def explain(self, query: Union[str, Sequence[str], Query],
                 semantics: str = ELCA,
                 planner: Optional[JoinPlanner] = None,
-                trace: bool = False):
+                trace: bool = False,
+                analyze: bool = False,
+                shadow: str = "off",
+                estimator=None):
         """Per-level trace of the join-based evaluation (a `QueryPlan`).
 
         Shows the dynamic optimization at work: column sizes,
@@ -641,6 +686,13 @@ class XMLDatabase:
         database runs with a live tracer) the plan also carries the
         span tree of the evaluation (``plan.trace``), rendered by
         ``plan.format()``.
+
+        ``analyze=True`` is EXPLAIN ANALYZE (`docs/OBSERVABILITY.md`):
+        ``plan.audit`` carries the `repro.obs.audit.PlanAudit` verdict
+        -- per-level predicted vs. actual cardinality, q-error and plan
+        regret, with ``shadow`` ("off"/"sampled"/"all") really running
+        the not-chosen join algorithm for measured regret, and
+        ``estimator`` overriding the audited cardinality model.
         """
         from .algorithms.explain import explain as _explain
 
@@ -650,7 +702,8 @@ class XMLDatabase:
         elif self.tracer.enabled:
             tracer = self.tracer
         return _explain(self.columnar_index, self._terms(query), semantics,
-                        planner, tracer=tracer)
+                        planner, tracer=tracer, analyze=analyze,
+                        shadow=shadow, estimator=estimator)
 
     def _terms(self, query: Union[str, Sequence[str], Query]) -> List[str]:
         if isinstance(query, Query):
@@ -671,7 +724,8 @@ class XMLDatabase:
     def _record_query(self, op: str, terms: List[str], semantics: str,
                       algorithm: str, k: Optional[int], elapsed_ms: float,
                       stats: Optional[ExecutionStats],
-                      trace_root: Optional[Span]) -> None:
+                      trace_root: Optional[Span],
+                      phases: Optional[Dict[str, float]] = None) -> None:
         """Publish one finished query into metrics and the slow log."""
         metrics = self.metrics
         metrics.counter("repro_queries_total", {"op": op}).inc()
@@ -689,7 +743,8 @@ class XMLDatabase:
         if self.slow_log is not None:
             self.slow_log.maybe_record(
                 elapsed_ms, terms, semantics, algorithm, k,
-                stats.as_dict() if stats is not None else None, trace_root)
+                stats.as_dict() if stats is not None else None, trace_root,
+                phases=phases)
 
     # ------------------------------------------------------------------
     # introspection

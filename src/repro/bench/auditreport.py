@@ -1,0 +1,101 @@
+"""Plan-audit reports for the paper workloads: the CI artifact.
+
+Runs the §III-C plan auditor (`repro.obs.audit`) over the Figure 9
+complete-search workload (the DBLP frequency sweep) and the Figure 10
+correlated top-K workload -- the query family where cardinality
+estimation is actually at risk -- and writes one JSON report per
+figure::
+
+    PYTHONPATH=src python -m repro.bench.auditreport --small --out-dir audit-reports/
+
+Each report is a list of `PlanAudit.as_dict()` payloads plus a summary
+(worst q-error, flagged levels, total regret) the CI job prints.  The
+reports are uploaded as a build artifact so a plan-quality drift is
+diagnosable from the run page without reproducing locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.audit import audit_query
+from .harness import BenchConfig, Workbench
+
+DEFAULT_OUT_DIR = "audit-reports"
+
+
+def audit_workload(db, term_lists: Sequence[Sequence[str]],
+                   label: str, shadow: str = "off") -> Dict:
+    """Audit every query of one workload against `db`'s indexes."""
+    audits = []
+    for terms in term_lists:
+        audit = audit_query(db.columnar_index, list(terms), shadow=shadow)
+        audits.append(audit.as_dict())
+    flagged = sum(1 for a in audits
+                  for level in a["levels"] if level["flags"])
+    worst_q = max((a["max_q_error"] for a in audits), default=1.0)
+    regret = sum(a["total_regret_ms"] for a in audits)
+    return {
+        "workload": label,
+        "shadow": shadow,
+        "queries": len(audits),
+        "summary": {
+            "flagged_levels": flagged,
+            "worst_q_error": worst_q,
+            "total_regret_ms": regret,
+        },
+        "audits": audits,
+    }
+
+
+def fig9_report(bench: Workbench, shadow: str = "off") -> Dict:
+    """The Figure 9 k=2 frequency sweep on DBLP."""
+    term_lists = [list(spec.terms)
+                  for spec in bench.builder.frequency_sweep(2)]
+    return audit_workload(bench.dblp, term_lists, "fig9-dblp-sweep",
+                          shadow=shadow)
+
+
+def fig10_report(bench: Workbench, shadow: str = "off") -> Dict:
+    """The Figure 10(b)-(c) correlated queries on DBLP -- the family
+    built to stress the independence assumption."""
+    term_lists = [list(spec.terms)
+                  for spec in bench.builder.correlated_queries()]
+    return audit_workload(bench.dblp, term_lists, "fig10-dblp-correlated",
+                          shadow=shadow)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="emit plan-audit reports for the fig-9/fig-10 "
+                    "workloads")
+    parser.add_argument("--small", action="store_true",
+                        help="smoke-scale corpus (CI)")
+    parser.add_argument("--out-dir", default=DEFAULT_OUT_DIR)
+    parser.add_argument("--shadow", default="off",
+                        choices=("off", "sampled", "all"))
+    args = parser.parse_args(argv)
+
+    bench = Workbench(BenchConfig.small() if args.small else BenchConfig())
+    os.makedirs(args.out_dir, exist_ok=True)
+    status = 0
+    for name, build in (("AUDIT_fig9.json", fig9_report),
+                        ("AUDIT_fig10.json", fig10_report)):
+        report = build(bench, shadow=args.shadow)
+        path = os.path.join(args.out_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        summary = report["summary"]
+        print(f"{path}: {report['queries']} queries, "
+              f"worst q-error {summary['worst_q_error']:.2f}, "
+              f"{summary['flagged_levels']} flagged levels, "
+              f"regret {summary['total_regret_ms']:.2f}ms")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

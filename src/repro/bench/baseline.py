@@ -43,6 +43,10 @@ from .harness import BenchConfig, Workbench
 
 SCHEMA = "repro.bench.hotpath/v1"
 DEFAULT_OUT = "BENCH_hotpath.json"
+# Every random input to the measurement is pinned and recorded in the
+# emitted JSON, so reruns across commits measure the same workload --
+# the contract the perf-regression series (repro.bench.regress) needs.
+ERASURE_SEED = 5
 
 
 def _timed_samples(fn: Callable[[], object], repeats: int) -> List[float]:
@@ -71,8 +75,8 @@ def _fig9_high_pair(bench: Workbench) -> List[List[str]]:
             if spec.low_frequency == top]
 
 
-def _erasure_fixture(seed: int = 5, size: int = 200_000, n_marks: int = 800,
-                     n_queries: int = 4_000):
+def _erasure_fixture(seed: int = ERASURE_SEED, size: int = 200_000,
+                     n_marks: int = 800, n_queries: int = 4_000):
     """Random contained-or-disjoint marks + query ranges for the erasure
     micro-ops (both erasers accept the same geometry)."""
     rng = np.random.default_rng(seed)
@@ -167,6 +171,9 @@ def hotpath_report(bench: Workbench, repeats: int = 5,
             "n_papers": bench.config.n_papers,
             "high_freq": bench.config.high_freq,
             "repeats": repeats,
+            "seed": bench.config.seed,
+            "workload_seed": bench.config.workload_seed,
+            "erasure_seed": ERASURE_SEED,
         },
         "workload": {"queries": queries, "semantics": "elca"},
         "ops": ops,
@@ -188,6 +195,9 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help=f"output path (default {DEFAULT_OUT})")
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--history", metavar="JSONL", default=None,
+                        help="also append this run to the perf-regression "
+                             "series (see repro.bench.regress)")
     args = parser.parse_args(argv)
 
     scale = "small" if args.small else "full"
@@ -199,6 +209,12 @@ def main(argv: Optional[List[str]] = None) -> None:
     speedups = ", ".join(f"{name} {value:.2f}x"
                          for name, value in report["speedups"].items())
     print(f"wrote {args.out} ({scale}): {speedups}")
+    if args.history:
+        from .regress import append_run
+
+        entry = append_run(report, args.history)
+        sha = entry.get("git_sha") or "no-git"
+        print(f"appended to {args.history} (sha={sha[:12]})")
 
 
 if __name__ == "__main__":

@@ -36,6 +36,11 @@ class BenchConfig:
     """Corpus and workload scale for one harness run."""
 
     seed: int = 7
+    # The workload builder has its own RNG stream; pinning it here (and
+    # recording it in emitted reports) keeps BENCH_hotpath.json reruns
+    # comparable across commits -- the perf-regression time series
+    # (repro.bench.regress) depends on identical workloads.
+    workload_seed: int = 11
     n_papers: int = 20_000
     xmark_scale: float = 0.05
     high_freq: int = 4_000
@@ -70,7 +75,8 @@ class Workbench:
             low_freqs=self.config.low_freqs,
             per_cell=self.config.per_cell,
             max_keywords=self.config.max_keywords,
-            correlated_entities=self.config.correlated_entities)
+            correlated_entities=self.config.correlated_entities,
+            seed=self.config.workload_seed)
         self._dblp: Optional[XMLDatabase] = None
         self._xmark: Optional[XMLDatabase] = None
 

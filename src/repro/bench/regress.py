@@ -1,0 +1,290 @@
+"""Perf-regression time series over the hot-path baseline.
+
+``BENCH_hotpath.json`` is one run; this module turns the runs into a
+trajectory.  `append_run` folds a baseline report into
+``BENCH_history.jsonl`` -- one JSON line per run, stamped with the git
+SHA and an environment fingerprint -- and `check` compares the latest
+entry against the trailing median of comparable history (same scale,
+same environment), flagging any guarded op whose p50 regressed by more
+than the threshold::
+
+    PYTHONPATH=src python -m repro.bench.regress --append BENCH_hotpath.json
+    PYTHONPATH=src python -m repro.bench.regress --check
+
+(also exposed as ``repro regress``).  The check exits non-zero on a
+regression, which is what the CI ``perf-audit`` job keys off.
+
+Robustness choices, all aimed at "fail on real regressions, never on
+noise or machine changes":
+
+* the reference is the **median** of the last `window` comparable runs,
+  not the single previous run, so one slow CI machine does not poison
+  the next comparison;
+* entries only compare against history with the same ``scale`` label
+  and the same environment fingerprint -- a committed laptop entry can
+  never fail a CI runner, and vice versa; each environment builds its
+  own trajectory;
+* with fewer than `min_history` comparable prior runs the check
+  *passes* (there is nothing trustworthy to compare against -- the
+  first runs on a fresh environment just seed the series).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+HISTORY_SCHEMA = "repro.bench.history/v1"
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+DEFAULT_THRESHOLD = 0.15   # >15% p50 regression fails
+DEFAULT_WINDOW = 5         # trailing runs the median is taken over
+DEFAULT_MIN_HISTORY = 2    # comparable priors needed before checking
+
+# The ops the CI gate guards: the serving hot path.  The scalar
+# reference ops are deliberately absent -- they exist to measure
+# speedup, not to be fast.
+GUARDED_OPS = (
+    "level_loop_vectorized",
+    "erased_counts_bulk",
+    "mark_many_bulk",
+    "query_uncached",
+    "query_cached",
+)
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current commit's SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """What makes two runs' wall times comparable.
+
+    Two entries compare only when every one of these match: latency
+    shifts from a new interpreter, a different machine or a numpy
+    upgrade are environment changes, not code regressions.
+    """
+    import numpy
+
+    return {
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def history_entry(report: Dict[str, Any],
+                  sha: Optional[str] = None,
+                  env: Optional[Dict[str, Any]] = None,
+                  timestamp: Optional[float] = None) -> Dict[str, Any]:
+    """One JSONL line: the report's ops + provenance, no bulky payloads
+    (the per-run ``metrics``/``workload`` blobs stay in the full
+    BENCH_hotpath.json)."""
+    config = dict(report.get("config", {}))
+    return {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": time.time() if timestamp is None else timestamp,
+        "git_sha": git_sha() if sha is None else sha,
+        "env": env_fingerprint() if env is None else env,
+        "scale": config.get("scale", "unknown"),
+        "config": config,
+        "ops": report.get("ops", {}),
+        "speedups": report.get("speedups", {}),
+    }
+
+
+def append_run(report: Dict[str, Any], history_path: str = DEFAULT_HISTORY,
+               **kwargs) -> Dict[str, Any]:
+    """Append `report` to the history file; returns the written entry."""
+    entry = history_entry(report, **kwargs)
+    with open(history_path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(history_path: str = DEFAULT_HISTORY
+                 ) -> List[Dict[str, Any]]:
+    """All entries, oldest first.  Malformed lines are skipped (a
+    truncated append must not wedge the CI gate forever)."""
+    entries: List[Dict[str, Any]] = []
+    if not os.path.exists(history_path):
+        return entries
+    with open(history_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and entry.get("ops"):
+                entries.append(entry)
+    return entries
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _comparable(entry: Dict[str, Any], latest: Dict[str, Any]) -> bool:
+    return (entry.get("scale") == latest.get("scale")
+            and entry.get("env") == latest.get("env"))
+
+
+def _op_p50(entry: Dict[str, Any], op: str) -> Optional[float]:
+    data = entry.get("ops", {}).get(op)
+    if not isinstance(data, dict):
+        return None
+    p50 = data.get("p50_ms")
+    return float(p50) if p50 is not None else None
+
+
+@dataclass
+class OpDelta:
+    """Latest run vs. trailing median, for one guarded op."""
+
+    op: str
+    latest_ms: float
+    baseline_ms: float   # median of the comparable window
+    window: int          # comparable prior runs the median covers
+
+    @property
+    def delta(self) -> float:
+        """Fractional change; +0.20 means 20% slower than baseline."""
+        if self.baseline_ms <= 0:
+            return 0.0
+        return self.latest_ms / self.baseline_ms - 1.0
+
+    def format(self) -> str:
+        return (f"{self.op}: {self.latest_ms:.3f}ms vs median "
+                f"{self.baseline_ms:.3f}ms over {self.window} runs "
+                f"({self.delta:+.1%})")
+
+
+@dataclass
+class RegressionReport:
+    """The verdict of `check`: which guarded ops regressed."""
+
+    checked: bool            # False when history was insufficient
+    threshold: float
+    deltas: List[OpDelta] = field(default_factory=list)
+    reason: Optional[str] = None   # why nothing was checked
+
+    @property
+    def regressions(self) -> List[OpDelta]:
+        return [d for d in self.deltas if d.delta > self.threshold]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        if not self.checked:
+            return f"regress: PASS (not checked: {self.reason})"
+        lines = [f"regress: {'PASS' if self.ok else 'FAIL'} "
+                 f"(threshold {self.threshold:+.0%} on p50)"]
+        for delta in self.deltas:
+            marker = "  !! " if delta.delta > self.threshold else "     "
+            lines.append(marker + delta.format())
+        return "\n".join(lines)
+
+
+def check(history: List[Dict[str, Any]],
+          threshold: float = DEFAULT_THRESHOLD,
+          window: int = DEFAULT_WINDOW,
+          min_history: int = DEFAULT_MIN_HISTORY,
+          ops: Sequence[str] = GUARDED_OPS) -> RegressionReport:
+    """Compare the newest entry against its comparable trailing median."""
+    if not history:
+        return RegressionReport(checked=False, threshold=threshold,
+                                reason="empty history")
+    latest = history[-1]
+    priors = [entry for entry in history[:-1]
+              if _comparable(entry, latest)]
+    if len(priors) < min_history:
+        return RegressionReport(
+            checked=False, threshold=threshold,
+            reason=f"{len(priors)} comparable prior runs "
+                   f"(need {min_history}) for scale="
+                   f"{latest.get('scale')!r} on this environment")
+    tail = priors[-window:]
+    report = RegressionReport(checked=True, threshold=threshold)
+    for op in ops:
+        latest_p50 = _op_p50(latest, op)
+        if latest_p50 is None:
+            continue
+        baseline = [p50 for p50 in (_op_p50(entry, op) for entry in tail)
+                    if p50 is not None]
+        if not baseline:
+            continue
+        report.deltas.append(OpDelta(op=op, latest_ms=latest_p50,
+                                     baseline_ms=_median(baseline),
+                                     window=len(baseline)))
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro regress",
+        description="perf-regression time series over BENCH_hotpath runs")
+    parser.add_argument("--history", default=DEFAULT_HISTORY,
+                        help=f"JSONL series (default {DEFAULT_HISTORY})")
+    parser.add_argument("--append", metavar="REPORT_JSON",
+                        help="fold a BENCH_hotpath.json into the history")
+    parser.add_argument("--check", action="store_true",
+                        help="compare the newest entry against the "
+                             "trailing median; exit 1 on regression")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="fractional p50 regression that fails "
+                             "(default 0.15)")
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW)
+    parser.add_argument("--min-history", type=int,
+                        default=DEFAULT_MIN_HISTORY)
+    args = parser.parse_args(argv)
+
+    if not args.append and not args.check:
+        parser.error("nothing to do: pass --append and/or --check")
+
+    if args.append:
+        with open(args.append, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        entry = append_run(report, args.history)
+        sha = entry.get("git_sha") or "no-git"
+        print(f"appended {args.append} to {args.history} "
+              f"(scale={entry['scale']}, sha={sha[:12]})")
+
+    if args.check:
+        verdict = check(load_history(args.history),
+                        threshold=args.threshold, window=args.window,
+                        min_history=args.min_history)
+        print(verdict.format())
+        if not verdict.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,9 @@
     python -m repro topk mydb/ "xml keyword search" -k 10
     python -m repro info mydb/
     python -m repro trace mydb/ "xml data" --out trace.jsonl
+    python -m repro audit mydb/ "xml data" --shadow sampled
+    python -m repro metrics mydb/ --query "xml data" --prometheus
+    python -m repro regress --append BENCH_hotpath.json --check
     python -m repro bench --small
 
 `search`/`topk`/`info` accept either a saved database directory or a
@@ -147,9 +150,80 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_explain(args: argparse.Namespace) -> int:
     db = _load(args.database)
     plan = db.explain(args.query, semantics=args.semantics,
-                      trace=args.trace)
+                      trace=args.trace, analyze=args.analyze,
+                      shadow=args.shadow)
     print(plan.format())
     return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """EXPLAIN ANALYZE: audit the section III-C plan of one query."""
+    import json
+
+    from .api import Query
+    from .obs.audit import audit_query
+    from .planner.cardinality import CardinalityEstimator
+    from .planner.plans import JoinPlanner
+
+    db = _load(args.database)
+    terms = Query(args.query, db.tokenizer).terms
+    planner = (JoinPlanner(args.policy) if args.policy != "dynamic"
+               else None)
+    estimator = (CardinalityEstimator(sample_size=args.sample_size)
+                 if args.sample_size is not None else None)
+    audit = audit_query(db.columnar_index, terms,
+                        semantics=args.semantics, planner=planner,
+                        estimator=estimator, shadow=args.shadow)
+    if args.json:
+        print(audit.to_json(indent=2))
+    else:
+        print(audit.format())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(audit.to_json(indent=2) + "\n")
+        print(f"audit written to {args.out}")
+    if args.fail_on_misprediction and audit.mispredicted_levels:
+        return 1
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Dump the live metrics registry (Prometheus exposition by
+    default).  With ``--query`` the given queries run first, so the
+    dump reflects actual serving work rather than an empty registry."""
+    import json
+
+    from .obs import get_registry
+
+    if args.database is not None:
+        db = _load(args.database)
+        registry = db.metrics
+        for query in args.query or []:
+            if args.k is not None:
+                db.search_topk(query, args.k, semantics=args.semantics)
+            else:
+                db.search(query, semantics=args.semantics)
+    else:
+        registry = get_registry()
+    if args.json:
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(registry.render_prometheus(), end="")
+    return 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    from .bench.regress import main as regress_main
+
+    argv = ["--history", args.history,
+            "--threshold", str(args.threshold),
+            "--window", str(args.window),
+            "--min-history", str(args.min_history)]
+    if args.append:
+        argv += ["--append", args.append]
+    if args.check:
+        argv.append("--check")
+    return regress_main(argv)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -266,7 +340,72 @@ def build_parser() -> argparse.ArgumentParser:
                    default="elca")
     p.add_argument("--trace", action="store_true",
                    help="attach the span tree of the evaluation")
+    p.add_argument("--analyze", action="store_true",
+                   help="EXPLAIN ANALYZE: audit predicted vs. actual "
+                        "cardinality and plan regret per level")
+    p.add_argument("--shadow", choices=("off", "sampled", "all"),
+                   default="off",
+                   help="with --analyze, also run the not-chosen join "
+                        "algorithm for measured regret")
     p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("audit",
+                       help="EXPLAIN ANALYZE the section III-C plan of "
+                            "one query (q-error, regret, verdict)")
+    p.add_argument("database")
+    p.add_argument("query")
+    p.add_argument("--semantics", choices=("elca", "slca"),
+                   default="elca")
+    p.add_argument("--shadow", choices=("off", "sampled", "all"),
+                   default="off",
+                   help="really run the not-chosen join algorithm: "
+                        "never / on sampled levels / everywhere")
+    p.add_argument("--policy", choices=("dynamic", "merge", "index"),
+                   default="dynamic",
+                   help="join policy to audit (forced plans show what "
+                        "the optimizer saves)")
+    p.add_argument("--sample-size", type=int, default=None,
+                   help="cardinality probe sample size (0 disables the "
+                        "sampled refinement, auditing the pure "
+                        "containment formula)")
+    p.add_argument("--json", action="store_true",
+                   help="print the audit as JSON instead of text")
+    p.add_argument("--out", default=None,
+                   help="also write the audit as JSON to this file")
+    p.add_argument("--fail-on-misprediction", action="store_true",
+                   help="exit 1 if any level is flagged")
+    p.set_defaults(fn=cmd_audit)
+
+    p = sub.add_parser("metrics",
+                       help="dump the metrics registry (Prometheus "
+                            "exposition; --json for the raw snapshot)")
+    p.add_argument("database", nargs="?", default=None,
+                   help="optional database; with --query, queries run "
+                        "first so the dump reflects real serving work")
+    p.add_argument("--query", action="append", default=None,
+                   help="query to run before dumping (repeatable)")
+    p.add_argument("-k", type=int, default=None,
+                   help="run --query as top-K instead of complete")
+    p.add_argument("--semantics", choices=("elca", "slca"),
+                   default="elca")
+    p.add_argument("--json", action="store_true",
+                   help="raw MetricsRegistry.snapshot() JSON instead of "
+                        "Prometheus exposition")
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser("regress",
+                       help="perf-regression time series over "
+                            "BENCH_hotpath runs (append / check)")
+    p.add_argument("--history", default="BENCH_history.jsonl")
+    p.add_argument("--append", metavar="REPORT_JSON", default=None,
+                   help="fold a BENCH_hotpath.json into the history")
+    p.add_argument("--check", action="store_true",
+                   help="compare newest entry vs the trailing median; "
+                        "exit 1 on >threshold p50 regression")
+    p.add_argument("--threshold", type=float, default=0.15)
+    p.add_argument("--window", type=int, default=5)
+    p.add_argument("--min-history", type=int, default=2)
+    p.set_defaults(fn=cmd_regress)
 
     p = sub.add_parser("trace",
                        help="run one traced query; print the span tree")

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.profiler import profile_phase
 from ..reliability.deadline import check_active
 from ..reliability.errors import DatabaseCorruptError, DatabaseFormatError
 from ..scoring.ranking import RankingModel
@@ -102,7 +103,8 @@ class LazyColumnarPostings(ColumnarPostings):
             check_active()
             scheme, payload = self._level_payloads[level - 1]
             self.io.record(level, len(payload))
-            values = decompress_column(scheme, payload)
+            with profile_phase("decompress"):
+                values = decompress_column(scheme, payload)
         column = Column(level, values, seq_idx)
         self._columns[level] = column
         return column

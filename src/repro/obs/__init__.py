@@ -11,29 +11,60 @@ Three independent instruments threaded through the query pipeline:
 * `slowlog` -- a bounded `SlowQueryLog` capturing query, stats and
   trace of outliers.
 
-Everything defaults off (`NULL_TRACER`, no slow log) so the serving hot
-path is unchanged unless observability is asked for.
+Tracing and the slow log default off (`NULL_TRACER`, no slow log) so
+the serving hot path is unchanged unless asked for; the phase profiler
+defaults *on* (its per-query cost is a handful of `perf_counter`
+calls, held to the <=5% overhead guard).
+
+Two further instruments added by the plan-quality PR:
+
+* `audit` -- EXPLAIN ANALYZE for the section III-C optimizer:
+  per-level predicted vs. actual cardinality, q-error and plan regret
+  (`PlanAudit`, via ``explain(analyze=True)`` / ``repro audit``);
+* `profiler` -- always-on exclusive-time phase attribution
+  (parse/fetch/decompress/join/erase/rank-join), published as
+  ``repro_phase_time_ms`` histograms and attached to slow-log entries.
 """
 
+from .audit import (AuditingJoinPlanner, JoinObservation, LevelAudit,
+                    PlanAudit, PlanAuditor, audit_query, q_error)
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, get_registry)
+from .profiler import (NULL_PROFILER, PHASES, NullPhaseProfiler,
+                       PhaseProfiler, QueryProfile, SamplingProfiler,
+                       active_profile, profile_phase)
 from .slowlog import SlowQueryLog, SlowQueryRecord
 from .tracing import (NULL_TRACER, NullTracer, Span, Tracer, render_trace,
                       spans_per_level_plan, trace_to_jsonl)
 
 __all__ = [
+    "AuditingJoinPlanner",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "JoinObservation",
+    "LevelAudit",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullPhaseProfiler",
     "NullTracer",
+    "PHASES",
+    "PhaseProfiler",
+    "PlanAudit",
+    "PlanAuditor",
+    "QueryProfile",
+    "SamplingProfiler",
     "SlowQueryLog",
     "SlowQueryRecord",
     "Span",
     "Tracer",
+    "active_profile",
+    "audit_query",
     "get_registry",
+    "profile_phase",
+    "q_error",
     "render_trace",
     "spans_per_level_plan",
     "trace_to_jsonl",

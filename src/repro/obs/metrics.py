@@ -108,6 +108,18 @@ class Histogram:
     (uniform sample of all observations, deterministic seed so repeated
     runs snapshot identically) supports `percentile` without retaining
     every sample.
+
+    Accuracy contract: percentiles are **rank-accurate to within +/-7
+    percentile points**.  The reservoir is a uniform sample, so the
+    value reported for the p-th percentile is a true sample value whose
+    actual rank lies in [p-7, p+7] with high probability -- the
+    binomial rank error of a 512-observation sample is
+    sqrt(p(1-p)/512) <= 2.2 points (one sigma), and 7 points is the
+    3-sigma bound.  This holds for any shape (bimodal, heavy-tailed);
+    what it does NOT promise is value-accuracy -- where the
+    distribution is steep (a heavy tail's p99), a few points of rank
+    can be a large factor in value.  Consumers needing tail *values*
+    should read the bucket counts instead.
     """
 
     __slots__ = ("bounds", "bucket_counts", "count", "total",

@@ -1,0 +1,288 @@
+"""Always-on phase profiling for the query pipeline.
+
+Spans (`repro.obs.tracing`) answer "what did *this* query do"; the
+phase profiler answers "where does query time go" cheaply enough to
+leave on in production.  Each query runs under a `QueryProfile` that
+attributes wall time *exclusively* to the innermost active phase --
+``parse``, ``fetch``, ``decompress``, ``join``, ``score``, ``erase``,
+``rank_join``, ``topk`` -- with everything unattributed landing in
+``other``.  Per-phase totals are published as
+``repro_phase_time_ms{phase=...}`` histograms and attached to slow-log
+entries, so an outlier query shows *which* phase blew up.
+
+The instrumentation points call the module-level `profile_phase`;
+when no profile is active on the thread (the default for library
+callers that bypass `XMLDatabase`) it returns a shared no-op, the same
+discipline as `NULL_TRACER` -- the hot path pays one thread-local read.
+
+`SamplingProfiler` is the optional statistical cross-check: a
+SIGPROF/`signal.setitimer` sampler that interrupts the main thread on
+CPU time and counts which phase the interrupt landed in.  It validates
+the deterministic attribution without trusting it (the two disagree if
+a phase boundary is misplaced), at the cost of being main-thread-only
+-- which is why the always-on mechanism is the perf_counter one.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, get_registry
+
+PHASES = ("parse", "fetch", "decompress", "join", "score", "erase",
+          "rank_join", "topk", "other")
+
+_ACTIVE = threading.local()  # .profile -> QueryProfile | None
+
+
+class QueryProfile:
+    """Exclusive per-phase wall time of one query, in milliseconds.
+
+    Phases nest: entering ``join`` inside ``erase`` charges the elapsed
+    ``erase`` time so far and starts charging ``join``; exiting resumes
+    the outer phase.  Time outside any phase is ``other``.  The
+    attribution is exact (no sampling error) and costs two
+    `time.perf_counter` calls per phase boundary.
+    """
+
+    __slots__ = ("exclusive_ms", "_stack", "_t0", "_last", "total_ms")
+
+    def __init__(self):
+        self.exclusive_ms: Dict[str, float] = {}
+        self._stack: List[str] = []
+        self._t0 = time.perf_counter()
+        self._last = self._t0
+        self.total_ms: float = 0.0
+
+    def _charge(self, now: float) -> None:
+        owner = self._stack[-1] if self._stack else "other"
+        elapsed = (now - self._last) * 1000.0
+        if elapsed > 0.0:
+            self.exclusive_ms[owner] = \
+                self.exclusive_ms.get(owner, 0.0) + elapsed
+        self._last = now
+
+    def enter(self, phase: str) -> None:
+        self._charge(time.perf_counter())
+        self._stack.append(phase)
+
+    def exit(self) -> None:
+        self._charge(time.perf_counter())
+        if self._stack:
+            self._stack.pop()
+
+    def finish(self) -> None:
+        now = time.perf_counter()
+        self._charge(now)
+        self.total_ms = (now - self._t0) * 1000.0
+
+    @property
+    def current_phase(self) -> str:
+        return self._stack[-1] if self._stack else "other"
+
+    @property
+    def phases(self) -> Dict[str, float]:
+        """Per-phase exclusive milliseconds (a copy, safe to keep)."""
+        return dict(self.exclusive_ms)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"total_ms": self.total_ms, "phases": self.phases}
+
+
+class _PhaseSpan:
+    """Context manager charging its block to one phase."""
+
+    __slots__ = ("_profile", "_phase")
+
+    def __init__(self, profile: QueryProfile, phase: str):
+        self._profile = profile
+        self._phase = phase
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._profile.enter(self._phase)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._profile.exit()
+
+
+class _NoopSpan:
+    """Shared do-nothing span for threads with no active profile."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def active_profile() -> Optional[QueryProfile]:
+    """The profile collecting on this thread, if any."""
+    return getattr(_ACTIVE, "profile", None)
+
+
+def profile_phase(phase: str):
+    """Attribute the ``with`` block to `phase` on the active profile.
+
+    The instrumentation call sites use this unconditionally; with no
+    profile active on the thread it returns a shared no-op object, so
+    the disabled cost is one thread-local read plus a constructor-free
+    context entry.
+    """
+    profile = getattr(_ACTIVE, "profile", None)
+    if profile is None:
+        return _NOOP_SPAN
+    return _PhaseSpan(profile, phase)
+
+
+class _ProfileScope:
+    """Activates a `QueryProfile` on the current thread for one query."""
+
+    __slots__ = ("_profiler", "_profile", "_previous")
+
+    def __init__(self, profiler: "PhaseProfiler"):
+        self._profiler = profiler
+        self._profile: Optional[QueryProfile] = None
+        self._previous: Optional[QueryProfile] = None
+
+    def __enter__(self) -> QueryProfile:
+        self._previous = getattr(_ACTIVE, "profile", None)
+        self._profile = QueryProfile()
+        _ACTIVE.profile = self._profile
+        return self._profile
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE.profile = self._previous
+        profile = self._profile
+        profile.finish()
+        self._profiler._publish(profile)
+
+
+class PhaseProfiler:
+    """The always-on profiler `XMLDatabase` runs every query under.
+
+    ``profile()`` opens the per-query scope::
+
+        with profiler.profile() as prof:
+            ...run the query...
+        prof.phases   # {"join": 1.2, "erase": 0.4, "other": 0.1}
+
+    On scope exit the per-phase totals are published into ``metrics``
+    as ``repro_phase_time_ms{phase=...}`` histograms (one observation
+    per query per touched phase).  Scopes are per-thread and nest
+    safely (the inner query is charged to its own profile).
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics if metrics is not None else get_registry()
+
+    def profile(self) -> _ProfileScope:
+        return _ProfileScope(self)
+
+    def _publish(self, profile: QueryProfile) -> None:
+        for phase, ms in profile.exclusive_ms.items():
+            self.metrics.histogram("repro_phase_time_ms",
+                                   {"phase": phase}).observe(ms)
+
+
+class _NullScope:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class NullPhaseProfiler:
+    """Disabled profiler: ``profile()`` yields ``None`` and records
+    nothing.  Pass as ``profiler=NULL_PROFILER`` to switch the database
+    back to the PR-2 behaviour."""
+
+    enabled = False
+
+    def profile(self) -> _NullScope:
+        return _NULL_SCOPE
+
+    def _publish(self, profile: QueryProfile) -> None:  # pragma: no cover
+        pass
+
+
+NULL_PROFILER = NullPhaseProfiler()
+
+
+class SamplingProfiler:
+    """SIGPROF statistical sampler over the active phase stack.
+
+    Arms ``signal.setitimer(ITIMER_PROF, interval)``; every time the
+    process consumes `interval` seconds of CPU, the handler reads the
+    phase active on the **main** thread and bumps its sample count.
+    Diagnosis tool, not production default: signals only interrupt the
+    main thread, so it must be started there, and it sees only that
+    thread's profile.
+
+    ::
+
+        sampler = SamplingProfiler(interval=0.001)
+        with sampler:
+            ...main-thread queries...
+        sampler.counts  # {"join": 412, "erase": 80, "other": 13}
+    """
+
+    def __init__(self, interval: float = 0.001):
+        self.interval = float(interval)
+        self.counts: Dict[str, int] = {}
+        self.samples = 0
+        self._armed = False
+        self._previous_handler = None
+
+    def _handler(self, signum, frame) -> None:
+        profile = getattr(_ACTIVE, "profile", None)
+        phase = profile.current_phase if profile is not None else "other"
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+        self.samples += 1
+
+    def start(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            raise RuntimeError(
+                "SamplingProfiler uses SIGPROF and must start on the "
+                "main thread")
+        self._previous_handler = signal.signal(signal.SIGPROF,
+                                               self._handler)
+        signal.setitimer(signal.ITIMER_PROF, self.interval, self.interval)
+        self._armed = True
+
+    def stop(self) -> None:
+        if not self._armed:
+            return
+        signal.setitimer(signal.ITIMER_PROF, 0.0)
+        signal.signal(signal.SIGPROF, self._previous_handler)
+        self._armed = False
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def distribution(self) -> Dict[str, float]:
+        """Sample shares per phase (fractions summing to 1.0)."""
+        if not self.samples:
+            return {}
+        return {phase: count / self.samples
+                for phase, count in self.counts.items()}

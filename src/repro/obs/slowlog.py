@@ -40,6 +40,9 @@ class SlowQueryRecord:
     stats: Dict[str, Any] = field(default_factory=dict)
     trace: Optional[Dict[str, Any]] = None
     wall_time: float = 0.0  # time.time() at record, for log correlation
+    # Exclusive per-phase milliseconds from the phase profiler
+    # (repro.obs.profiler), when one was active for the query.
+    phases: Optional[Dict[str, float]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -51,6 +54,7 @@ class SlowQueryRecord:
             "stats": _jsonable(self.stats),
             "trace": self.trace,
             "wall_time": self.wall_time,
+            "phases": self.phases,
         }
 
 
@@ -79,7 +83,8 @@ class SlowQueryLog:
                      semantics: str, algorithm: str,
                      k: Optional[int] = None,
                      stats: Optional[Dict[str, Any]] = None,
-                     trace_root: Optional[Span] = None) -> bool:
+                     trace_root: Optional[Span] = None,
+                     phases: Optional[Dict[str, float]] = None) -> bool:
         """Record the query if it crossed the threshold; True if kept."""
         if elapsed_ms < self.threshold_ms:
             return False
@@ -88,7 +93,8 @@ class SlowQueryLog:
             k=k, elapsed_ms=float(elapsed_ms),
             stats=dict(stats) if stats else {},
             trace=trace_root.to_dict() if trace_root is not None else None,
-            wall_time=time.time())
+            wall_time=time.time(),
+            phases=dict(phases) if phases else None)
         with self._lock:
             if len(self._records) == self._records.maxlen:
                 self.dropped += 1

@@ -11,9 +11,24 @@ probe.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
+
+
+@dataclass(frozen=True)
+class CardinalityEstimate:
+    """Both ingredients of one estimate, for plan auditing.
+
+    ``containment`` is the closed-form independence estimate,
+    ``sampled`` the probe-refined one (0.0 when sampling saw nothing or
+    was disabled), ``combined`` the value the planner actually uses.
+    """
+
+    containment: float
+    sampled: float
+    combined: float
 
 
 def containment_estimate(distinct_sizes: Sequence[int],
@@ -39,7 +54,7 @@ def sampled_estimate(columns: List[np.ndarray], sample_size: int = 64,
     and scales the hit rate back up.  Deterministic when `rng` is seeded.
     """
     nonempty = [c for c in columns if len(c)]
-    if len(nonempty) != len(columns) or not columns:
+    if len(nonempty) != len(columns) or not columns or sample_size <= 0:
         return 0.0
     ordered = sorted(columns, key=len)
     smallest = ordered[0]
@@ -62,7 +77,12 @@ def sampled_estimate(columns: List[np.ndarray], sample_size: int = 64,
 
 
 class CardinalityEstimator:
-    """Per-level join-cardinality estimates for the hybrid planner."""
+    """Per-level join-cardinality estimates for the hybrid planner.
+
+    ``sample_size=0`` disables the probe refinement entirely, leaving
+    the pure containment formula -- the configuration the plan auditor
+    uses to demonstrate estimation error on correlated keywords.
+    """
 
     def __init__(self, sample_size: int = 64, seed: int = 0):
         self.sample_size = sample_size
@@ -71,12 +91,19 @@ class CardinalityEstimator:
     def estimate(self, columns: List[np.ndarray],
                  domain_size: Optional[int] = None) -> float:
         """Best-effort estimate of |intersection| of the distinct arrays."""
+        return self.estimate_detail(columns, domain_size).combined
+
+    def estimate_detail(self, columns: List[np.ndarray],
+                        domain_size: Optional[int] = None
+                        ) -> CardinalityEstimate:
+        """Containment, sampled and combined estimates in one object."""
         if any(len(c) == 0 for c in columns) or not columns:
-            return 0.0
+            return CardinalityEstimate(0.0, 0.0, 0.0)
         if domain_size is None:
             domain_size = int(max(c[-1] for c in columns))
         base = containment_estimate([len(c) for c in columns], domain_size)
         refined = sampled_estimate(columns, self.sample_size, self._rng)
         # The sampled probe dominates when it saw anything; the formula
         # covers the all-misses case where sampling returns 0.
-        return max(base, refined) if refined > 0 else base
+        combined = max(base, refined) if refined > 0 else base
+        return CardinalityEstimate(base, refined, combined)

@@ -28,6 +28,39 @@ DYNAMIC = "dynamic"
 POLICIES = (MERGE, INDEX, DYNAMIC)
 
 
+def merge_cost(probe_size: int, target_size: int) -> float:
+    """Modeled cost of a merge intersection: scan both inputs."""
+    return float(probe_size + target_size)
+
+
+def index_cost(probe_size: int, target_size: int) -> float:
+    """Modeled cost of an index intersection: probe the larger side."""
+    return probe_size * max(1.0, math.log2(max(target_size, 1)))
+
+
+def modeled_cost(algorithm: str, probe_size: int, target_size: int) -> float:
+    """The section III-C cost model for one pairwise join.
+
+    The same model `JoinPlanner.choose` decides with, exposed so the
+    plan auditor (`repro.obs.audit`) can re-evaluate decisions against
+    the sizes actually observed at run time.
+    """
+    if algorithm == INDEX:
+        return index_cost(probe_size, target_size)
+    if algorithm == MERGE:
+        return merge_cost(probe_size, target_size)
+    raise ValueError(f"no cost model for algorithm {algorithm!r}")
+
+
+def alternative_of(algorithm: str) -> str:
+    """The join algorithm `choose` did not pick."""
+    if algorithm == MERGE:
+        return INDEX
+    if algorithm == INDEX:
+        return MERGE
+    raise ValueError(f"no alternative for algorithm {algorithm!r}")
+
+
 def merge_intersect(a: np.ndarray, b: np.ndarray,
                     stats: Optional[ExecutionStats] = None) -> np.ndarray:
     """Sorted-set intersection by merging; scans both inputs."""
@@ -68,9 +101,10 @@ class JoinPlanner:
             return self.policy
         if probe_size == 0 or target_size == 0:
             return INDEX
-        index_cost = probe_size * max(1.0, math.log2(target_size))
-        merge_cost = probe_size + target_size
-        return INDEX if index_cost < merge_cost else MERGE
+        if index_cost(probe_size, target_size) < \
+                merge_cost(probe_size, target_size):
+            return INDEX
+        return MERGE
 
     def intersect(self, a: np.ndarray, b: np.ndarray,
                   stats: Optional[ExecutionStats] = None) -> np.ndarray:

@@ -687,3 +687,265 @@ class TestTraceCLI:
         text = capsys.readouterr().out
         assert "# TYPE repro_queries_total counter" in text
         assert "slow query" in text
+
+
+# ---------------------------------------------------------------------------
+# thread-safety under search_batch(threads=N)
+# ---------------------------------------------------------------------------
+
+class TestThreadSafety:
+    QUERIES = ["gamma beta", "cx cy", "c3a c3b", "gamma cx"]
+
+    def _counters(self, db):
+        return db.metrics.snapshot()["counters"]
+
+    def test_counter_totals_match_single_thread(self, corpus_db):
+        """The registry is shared across worker threads; totals after a
+        threaded batch must equal the single-thread sums exactly --
+        a lost update under contention would show up as a short count."""
+        serial = _fresh_db(corpus_db)
+        serial.search_batch(self.QUERIES * 8, threads=1, use_cache=False)
+        threaded = _fresh_db(corpus_db)
+        threaded.search_batch(self.QUERIES * 8, threads=4, use_cache=False)
+        serial_counts = self._counters(serial)
+        threaded_counts = self._counters(threaded)
+        assert set(serial_counts) == set(threaded_counts)
+        for name, value in serial_counts.items():
+            assert threaded_counts[name] == value, name
+
+    def test_phase_histogram_counts_match_single_thread(self, corpus_db):
+        """Same invariant for the profiler's histograms: every query
+        publishes one observation per touched phase regardless of which
+        worker thread ran it."""
+        serial = _fresh_db(corpus_db)
+        serial.search_batch(self.QUERIES * 4, threads=1, use_cache=False)
+        threaded = _fresh_db(corpus_db)
+        threaded.search_batch(self.QUERIES * 4, threads=4, use_cache=False)
+        serial_hist = serial.metrics.snapshot()["histograms"]
+        threaded_hist = threaded.metrics.snapshot()["histograms"]
+        serial_phases = {key: data["count"]
+                         for key, data in serial_hist.items()
+                         if key.startswith("repro_phase_time_ms")}
+        threaded_phases = {key: data["count"]
+                           for key, data in threaded_hist.items()
+                           if key.startswith("repro_phase_time_ms")}
+        assert serial_phases == threaded_phases
+        assert serial_phases  # the profiler was on
+
+    def test_spans_never_interleave_across_threads(self, corpus_db):
+        """Each worker thread builds its spans on a thread-local stack,
+        so every root must be a self-consistent query tree: one root
+        per query, every child a pipeline stage, and the levels under
+        it consistent with a single execution -- a cross-thread leak
+        would splice one query's spans under another's root."""
+        tracer = Tracer(capacity=64)
+        db = _fresh_db(corpus_db, tracer=tracer)
+        results = db.search_batch(self.QUERIES * 2, threads=4,
+                                  use_cache=False, with_stats=True)
+        roots = [root for root in tracer.roots() if root.name == "query"]
+        assert len(roots) == len(self.QUERIES) * 2
+        stage_names = {"parse", "cache_lookup", "postings_fetch", "join",
+                       "score", "erase", "rank_join", "topk_termination"}
+        stats_by_terms = {}
+        for _results, stats in results:
+            key = tuple(stats.per_level_plan)
+            stats_by_terms.setdefault(key, 0)
+        for root in roots:
+            assert all(child.name in stage_names
+                       for child in root.children), \
+                [c.name for c in root.children]
+            # The span tree's per-level plan must be one query's plan,
+            # never a merge of two (interleaving would double levels).
+            plan = spans_per_level_plan(root)
+            assert tuple(plan) in stats_by_terms
+            levels = [level for level, _alg in plan]
+            assert levels == sorted(set(levels), reverse=True)
+
+    def test_threaded_results_equal_serial_results(self, corpus_db):
+        db = _fresh_db(corpus_db)
+        serial = db.search_batch(self.QUERIES, threads=1, use_cache=False)
+        threaded = db.search_batch(self.QUERIES, threads=4,
+                                   use_cache=False)
+        for left, right in zip(serial, threaded):
+            assert [r.node.dewey for r in left] == \
+                [r.node.dewey for r in right]
+
+
+# ---------------------------------------------------------------------------
+# histogram quantile accuracy (the +/-7 rank-point contract)
+# ---------------------------------------------------------------------------
+
+class TestHistogramQuantileAccuracy:
+    RANK_TOLERANCE = 7  # percentile points; documented on Histogram
+
+    def _assert_rank_accurate(self, histogram, samples):
+        """The histogram's pNN must lie between the true values at
+        ranks NN-7 and NN+7 of the full sample."""
+        import numpy as np
+
+        ordered = np.sort(np.asarray(samples))
+        for p in (50.0, 95.0, 99.0):
+            estimate = histogram.percentile(p)
+            low = np.percentile(ordered, max(0.0, p - self.RANK_TOLERANCE))
+            high = np.percentile(ordered, min(100.0,
+                                              p + self.RANK_TOLERANCE))
+            assert low <= estimate <= high, \
+                (p, estimate, low, high)
+
+    def test_bimodal_distribution(self):
+        """Fast-path/slow-path latency mix: two tight modes 100x apart.
+        Rank accuracy must place p50 in the low mode and p95/p99 in
+        the high mode -- a mid-gap estimate would be a rank error of
+        tens of points."""
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        fast = rng.normal(1.0, 0.05, size=3000)
+        slow = rng.normal(100.0, 5.0, size=1000)
+        samples = np.concatenate([fast, slow])
+        rng.shuffle(samples)
+        histogram = Histogram()
+        for value in samples:
+            histogram.observe(float(value))
+        self._assert_rank_accurate(histogram, samples)
+        assert histogram.percentile(50) < 2.0     # low mode
+        assert histogram.percentile(95) > 80.0    # high mode
+
+    def test_heavy_tail_distribution(self):
+        """Lognormal with sigma=2: the p99 is ~100x the median.  The
+        reservoir keeps rank accuracy even though the tail values are
+        spread over orders of magnitude."""
+        import numpy as np
+
+        rng = np.random.default_rng(1337)
+        samples = rng.lognormal(mean=0.0, sigma=2.0, size=8000)
+        histogram = Histogram()
+        for value in samples:
+            histogram.observe(float(value))
+        self._assert_rank_accurate(histogram, samples)
+
+    def test_small_sample_is_exact(self):
+        """Below the reservoir size nothing is sampled away: nearest-
+        rank percentiles over all observations."""
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        # Nearest rank over the zero-indexed sorted sample of 100:
+        # p maps to index round(p/100 * 99).
+        assert histogram.percentile(50) == 51.0
+        assert histogram.percentile(99) == 99.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_deterministic_across_runs(self):
+        """The seeded reservoir makes snapshots reproducible: two
+        histograms fed the same stream report identical percentiles."""
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        samples = rng.exponential(10.0, size=5000)
+        first, second = Histogram(), Histogram()
+        for value in samples:
+            first.observe(float(value))
+            second.observe(float(value))
+        for p in (50, 90, 95, 99):
+            assert first.percentile(p) == second.percentile(p)
+
+
+# ---------------------------------------------------------------------------
+# profiler overhead guard
+# ---------------------------------------------------------------------------
+
+class TestProfilerOverheadGuard:
+    def _count_boundaries(self, db, run):
+        """Exact phase-boundary count of one query: install a counting
+        profile as the thread's active profile (the db runs with
+        NULL_PROFILER so it will not replace it) and let the real
+        instrumentation points hit it."""
+        from repro.obs import profiler as profiler_mod
+        from repro.obs.profiler import QueryProfile
+
+        class CountingProfile(QueryProfile):
+            __slots__ = ("boundaries",)
+
+            def __init__(self):
+                super().__init__()
+                self.boundaries = 0
+
+            def enter(self, phase):
+                self.boundaries += 1
+                super().enter(phase)
+
+        counting = CountingProfile()
+        profiler_mod._ACTIVE.profile = counting
+        try:
+            run()
+        finally:
+            profiler_mod._ACTIVE.profile = None
+        return counting.boundaries
+
+    def test_boundary_count_is_o_levels_not_o_candidates(self, corpus_db):
+        """The always-on profiler must cost O(levels) phase boundaries
+        per query, the same shape as the span budget -- a per-tuple
+        boundary would blow it by an order of magnitude."""
+        from repro.obs.profiler import NULL_PROFILER
+
+        db = _fresh_db(corpus_db, profiler=NULL_PROFILER)
+        budget = 4 + 6 * db.tree.depth  # the tracer span budget
+        complete = self._count_boundaries(
+            db, lambda: db.search("gamma beta", use_cache=False))
+        assert 0 < complete <= budget
+        topk = self._count_boundaries(
+            db, lambda: db.search_topk("gamma beta", k=5))
+        assert 0 < topk <= budget
+
+    def test_profiler_overhead_within_budget(self, corpus_db):
+        """Arithmetic form of the <=5% guard, same shape as the tracing
+        and deadline guards: (measured phase boundaries per query) x
+        (measured cost of one active phase span) plus the per-query
+        scope setup must stay under 5% of the query's wall time."""
+        from repro.obs.profiler import (NULL_PROFILER, PhaseProfiler,
+                                        profile_phase)
+
+        db = _fresh_db(corpus_db, profiler=NULL_PROFILER)
+
+        def run():
+            db.search("gamma beta", use_cache=False)
+
+        run()  # warm indexes/postings outside the timed region
+        query_ms = min(_timed(run) for _ in range(3))
+        boundaries = self._count_boundaries(db, run)
+
+        profiler = PhaseProfiler(metrics=MetricsRegistry())
+
+        def boundary_cost():
+            with profiler.profile():
+                for _ in range(boundaries):
+                    with profile_phase("join"):
+                        pass
+
+        overhead_ms = min(_timed(boundary_cost) for _ in range(3))
+        assert overhead_ms <= 0.05 * query_ms
+
+    def test_disabled_profile_phase_is_nearly_free(self, corpus_db):
+        """With no active profile the instrumentation is one thread-
+        local read returning a shared no-op: its measured cost over a
+        query's worth of call sites must also clear the 5% bar with a
+        wide margin."""
+        from repro.obs.profiler import NULL_PROFILER, profile_phase
+
+        db = _fresh_db(corpus_db, profiler=NULL_PROFILER)
+
+        def run():
+            db.search("gamma beta", use_cache=False)
+
+        run()
+        query_ms = min(_timed(run) for _ in range(3))
+        calls = self._count_boundaries(db, run)
+
+        def noop_calls():
+            for _ in range(calls):
+                with profile_phase("join"):
+                    pass
+
+        overhead_ms = min(_timed(noop_calls) for _ in range(3))
+        assert overhead_ms <= 0.05 * query_ms

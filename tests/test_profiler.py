@@ -1,0 +1,259 @@
+"""Tests for the always-on phase profiler (`repro.obs.profiler`).
+
+Exclusive-time attribution, the thread-local no-op discipline, the
+`repro_phase_time_ms` histograms, slow-log phase attachment, and the
+SIGPROF statistical cross-check.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import XMLDatabase
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import (NULL_PROFILER, PHASES, NullPhaseProfiler,
+                                PhaseProfiler, QueryProfile, SamplingProfiler,
+                                active_profile, profile_phase)
+
+
+def _fresh_db(source_db, **kwargs):
+    kwargs.setdefault("metrics", MetricsRegistry())
+    return XMLDatabase.from_xml_text(source_db.tree.to_xml(), **kwargs)
+
+
+def _spin(seconds):
+    """Burn CPU (not sleep -- ITIMER_PROF counts CPU time)."""
+    deadline = time.process_time() + seconds
+    x = 0
+    while time.process_time() < deadline:
+        x += 1
+    return x
+
+
+# ---------------------------------------------------------------------------
+# QueryProfile: exclusive attribution
+# ---------------------------------------------------------------------------
+
+class TestQueryProfile:
+    def test_exclusive_time_sums_to_total(self):
+        profile = QueryProfile()
+        profile.enter("fetch")
+        time.sleep(0.002)
+        profile.enter("decompress")  # nested: fetch stops accruing
+        time.sleep(0.002)
+        profile.exit()
+        profile.exit()
+        time.sleep(0.001)
+        profile.finish()
+        phases = profile.phases
+        assert set(phases) <= set(PHASES) | {"fetch", "decompress"}
+        assert phases["fetch"] > 0.0
+        assert phases["decompress"] > 0.0
+        assert phases["other"] > 0.0
+        assert sum(phases.values()) == pytest.approx(profile.total_ms,
+                                                     rel=0.02)
+
+    def test_nesting_charges_the_innermost_phase(self):
+        profile = QueryProfile()
+        profile.enter("join")
+        profile.enter("erase")
+        time.sleep(0.005)
+        profile.exit()
+        profile.exit()
+        profile.finish()
+        # Nearly all the time was inside erase; join only held the
+        # stack during the boundary crossings.
+        assert profile.phases["erase"] > profile.phases.get("join", 0.0)
+
+    def test_current_phase_tracks_the_stack(self):
+        profile = QueryProfile()
+        assert profile.current_phase == "other"
+        profile.enter("join")
+        assert profile.current_phase == "join"
+        profile.enter("erase")
+        assert profile.current_phase == "erase"
+        profile.exit()
+        assert profile.current_phase == "join"
+        profile.exit()
+        assert profile.current_phase == "other"
+
+    def test_as_dict(self):
+        profile = QueryProfile()
+        profile.enter("topk")
+        profile.exit()
+        profile.finish()
+        payload = profile.as_dict()
+        assert payload["total_ms"] == profile.total_ms
+        assert payload["phases"] == profile.phases
+
+
+# ---------------------------------------------------------------------------
+# module-level plumbing
+# ---------------------------------------------------------------------------
+
+class TestProfilePhase:
+    def test_noop_without_active_profile(self):
+        assert active_profile() is None
+        span = profile_phase("join")
+        assert span is profile_phase("erase")  # the shared no-op object
+        with span:
+            pass  # must be harmless
+
+    def test_scope_activates_and_restores(self):
+        profiler = PhaseProfiler(metrics=MetricsRegistry())
+        with profiler.profile() as prof:
+            assert active_profile() is prof
+            with profile_phase("fetch"):
+                assert prof.current_phase == "fetch"
+        assert active_profile() is None
+        assert prof.total_ms > 0.0
+
+    def test_scopes_nest_per_thread(self):
+        profiler = PhaseProfiler(metrics=MetricsRegistry())
+        with profiler.profile() as outer:
+            with profiler.profile() as inner:
+                assert active_profile() is inner
+            assert active_profile() is outer
+
+    def test_threads_have_independent_profiles(self):
+        profiler = PhaseProfiler(metrics=MetricsRegistry())
+        seen = {}
+
+        def worker(name):
+            with profiler.profile() as prof:
+                with profile_phase("join"):
+                    time.sleep(0.002)
+                seen[name] = prof
+
+        with profiler.profile() as main_prof:
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert active_profile() is main_prof
+        profiles = list(seen.values())
+        assert len({id(p) for p in profiles}) == 3
+        for prof in profiles:
+            assert prof.phases["join"] > 0.0
+        # The workers' join time never leaked into the main profile.
+        assert "join" not in main_prof.phases
+
+
+class TestPhaseProfiler:
+    def test_publishes_phase_histograms(self):
+        registry = MetricsRegistry()
+        profiler = PhaseProfiler(metrics=registry)
+        with profiler.profile():
+            with profile_phase("join"):
+                time.sleep(0.001)
+        snap = registry.snapshot()
+        hist = snap["histograms"]['repro_phase_time_ms{phase="join"}']
+        assert hist["count"] == 1
+        assert hist["sum"] > 0.0
+        assert 'repro_phase_time_ms{phase="other"}' in snap["histograms"]
+
+    def test_null_profiler_records_nothing(self):
+        assert NULL_PROFILER.enabled is False
+        assert isinstance(NULL_PROFILER, NullPhaseProfiler)
+        with NULL_PROFILER.profile() as prof:
+            assert prof is None
+            assert active_profile() is None
+            with profile_phase("join"):
+                pass
+
+
+# ---------------------------------------------------------------------------
+# database integration
+# ---------------------------------------------------------------------------
+
+class TestDatabaseIntegration:
+    def test_search_populates_phase_histograms(self, small_db):
+        db = _fresh_db(small_db)
+        db.search("xml data", use_cache=False)
+        snap = db.metrics.snapshot()
+        phase_keys = [key for key in snap["histograms"]
+                      if key.startswith("repro_phase_time_ms")]
+        assert phase_keys
+        phases = {key.split('"')[1] for key in phase_keys}
+        assert "parse" in phases
+        assert phases <= set(PHASES)
+
+    def test_topk_attributes_rank_join_phases(self, dblp_db):
+        db = _fresh_db(dblp_db)
+        db.search_topk("alpha beta", k=3)
+        snap = db.metrics.snapshot()
+        phases = {key.split('"')[1] for key in snap["histograms"]
+                  if key.startswith("repro_phase_time_ms")}
+        assert "rank_join" in phases
+        assert "topk" in phases
+
+    def test_slow_log_carries_the_phase_breakdown(self, small_db):
+        db = _fresh_db(small_db, slow_query_ms=0.0)  # record everything
+        db.search("xml data", use_cache=False)
+        records = db.slow_log.records()
+        assert records
+        phases = records[-1].phases
+        assert phases is not None
+        assert all(ms >= 0.0 for ms in phases.values())
+        assert set(phases) <= set(PHASES)
+        assert records[-1].as_dict()["phases"] == phases
+
+    def test_null_profiler_keeps_slow_log_phase_free(self, small_db):
+        db = _fresh_db(small_db, slow_query_ms=0.0,
+                       profiler=NULL_PROFILER)
+        db.search("xml data", use_cache=False)
+        records = db.slow_log.records()
+        assert records
+        assert records[-1].phases is None
+        snap = db.metrics.snapshot()
+        assert not any(key.startswith("repro_phase_time_ms")
+                       for key in snap["histograms"])
+
+
+# ---------------------------------------------------------------------------
+# SIGPROF sampler
+# ---------------------------------------------------------------------------
+
+class TestSamplingProfiler:
+    def test_samples_land_in_the_active_phase(self):
+        profiler = PhaseProfiler(metrics=MetricsRegistry())
+        sampler = SamplingProfiler(interval=0.001)
+        with sampler, profiler.profile():
+            with profile_phase("join"):
+                _spin(0.05)
+        assert sampler.samples >= 1
+        assert sampler.counts.get("join", 0) > 0
+        dist = sampler.distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+        # Nearly all CPU burned inside the join phase.
+        assert dist["join"] > 0.5
+
+    def test_stop_disarms_the_timer(self):
+        sampler = SamplingProfiler(interval=0.001)
+        sampler.start()
+        sampler.stop()
+        before = sampler.samples
+        _spin(0.02)
+        assert sampler.samples == before
+        sampler.stop()  # idempotent
+
+    def test_rejects_non_main_thread(self):
+        errors = []
+
+        def worker():
+            try:
+                SamplingProfiler().start()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert len(errors) == 1
+        assert "main thread" in str(errors[0])
+
+    def test_empty_distribution_without_samples(self):
+        assert SamplingProfiler().distribution() == {}

@@ -1,0 +1,240 @@
+"""Tests for the perf-regression time series (`repro.bench.regress`).
+
+History append/load round-trips, the comparable-window median check
+(including the acceptance scenario: a synthetic 20% p50 regression must
+fail with exit code 1, the real trajectory must pass), and the pinned
+workload seeds the series depends on.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import regress
+from repro.bench.regress import (DEFAULT_THRESHOLD, GUARDED_OPS,
+                                 HISTORY_SCHEMA, OpDelta, append_run, check,
+                                 env_fingerprint, git_sha, history_entry,
+                                 load_history)
+
+
+def _report(p50=10.0, scale="small", **extra_config):
+    """A minimal BENCH_hotpath-shaped report."""
+    config = {"scale": scale, "n_papers": 300, "repeats": 5,
+              "seed": 7, "workload_seed": 11, "erasure_seed": 5}
+    config.update(extra_config)
+    return {
+        "schema": "repro.bench.hotpath/v1",
+        "config": config,
+        "workload": {"queries": [["a", "b"]], "semantics": "elca"},
+        "ops": {op: {"p50_ms": p50, "p95_ms": p50 * 1.5, "repeats": 5}
+                for op in GUARDED_OPS},
+        "metrics": {"counters": {}},
+        "speedups": {"level_loop": 3.0},
+    }
+
+
+def _entry(p50=10.0, scale="small", env=None, ts=0.0):
+    return history_entry(_report(p50=p50, scale=scale),
+                         sha="a" * 40,
+                         env=env or {"platform": "Linux", "python": "3.x"},
+                         timestamp=ts)
+
+
+# ---------------------------------------------------------------------------
+# entries and the JSONL file
+# ---------------------------------------------------------------------------
+
+class TestHistoryEntry:
+    def test_carries_provenance_and_ops(self):
+        entry = _entry(p50=12.5)
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["git_sha"] == "a" * 40
+        assert entry["scale"] == "small"
+        assert entry["config"]["workload_seed"] == 11
+        assert entry["config"]["erasure_seed"] == 5
+        assert entry["ops"]["query_uncached"]["p50_ms"] == 12.5
+        assert entry["speedups"] == {"level_loop": 3.0}
+        # The bulky payloads stay out of the series.
+        assert "metrics" not in entry
+        assert "workload" not in entry
+
+    def test_defaults_fill_sha_env_timestamp(self):
+        entry = history_entry(_report())
+        assert entry["env"] == env_fingerprint()
+        assert entry["timestamp"] > 0
+        assert entry["git_sha"] == git_sha()  # repo is a checkout
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        first = append_run(_report(p50=10.0), path, sha="a" * 40)
+        second = append_run(_report(p50=11.0), path, sha="b" * 40)
+        loaded = load_history(path)
+        assert loaded == [first, second]
+
+    def test_load_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        good = _entry()
+        path.write_text("not json at all\n"
+                        + json.dumps(good) + "\n"
+                        + '{"schema": "x", "no_ops": true}\n'
+                        + "\n"
+                        + '{"truncated": \n')
+        assert load_history(str(path)) == [good]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "absent.jsonl")) == []
+
+
+# ---------------------------------------------------------------------------
+# the check
+# ---------------------------------------------------------------------------
+
+class TestCheck:
+    def test_real_trajectory_passes(self):
+        history = [_entry(p50=10.0), _entry(p50=10.4), _entry(p50=9.8),
+                   _entry(p50=10.1)]
+        verdict = check(history)
+        assert verdict.checked
+        assert verdict.ok
+        assert len(verdict.deltas) == len(GUARDED_OPS)
+        assert "PASS" in verdict.format()
+
+    def test_twenty_percent_regression_fails(self):
+        """The acceptance scenario: +20% p50 over the trailing median
+        must fail against the 15% threshold."""
+        history = [_entry(p50=10.0), _entry(p50=10.0), _entry(p50=12.0)]
+        verdict = check(history)
+        assert verdict.checked
+        assert not verdict.ok
+        assert {d.op for d in verdict.regressions} == set(GUARDED_OPS)
+        worst = verdict.regressions[0]
+        assert worst.delta == pytest.approx(0.20)
+        assert "FAIL" in verdict.format()
+        assert "!!" in verdict.format()
+
+    def test_regression_below_threshold_passes(self):
+        history = [_entry(p50=10.0), _entry(p50=10.0), _entry(p50=11.0)]
+        assert check(history).ok  # +10% < 15%
+
+    def test_median_absorbs_one_noisy_prior(self):
+        # One slow outlier run must not drag the baseline up enough
+        # to hide a regression (median, not mean).
+        history = [_entry(p50=10.0), _entry(p50=10.0), _entry(p50=10.0),
+                   _entry(p50=40.0), _entry(p50=12.5)]
+        verdict = check(history)
+        assert not verdict.ok
+        assert verdict.regressions[0].baseline_ms == 10.0
+
+    def test_insufficient_history_passes_unchecked(self):
+        verdict = check([_entry(p50=10.0), _entry(p50=100.0)])
+        assert not verdict.checked
+        assert verdict.ok
+        assert "not checked" in verdict.format()
+        assert check([]).checked is False
+
+    def test_different_env_is_not_comparable(self):
+        laptop = {"platform": "Darwin", "python": "3.x"}
+        ci = {"platform": "Linux", "python": "3.x"}
+        history = [_entry(p50=5.0, env=laptop), _entry(p50=5.0, env=laptop),
+                   _entry(p50=10.0, env=ci)]
+        verdict = check(history)
+        # The CI entry has no comparable priors: seeded, not failed.
+        assert not verdict.checked
+        assert "comparable" in verdict.reason
+
+    def test_different_scale_is_not_comparable(self):
+        history = [_entry(p50=100.0, scale="full"),
+                   _entry(p50=100.0, scale="full"),
+                   _entry(p50=5.0, scale="small")]
+        assert not check(history).checked
+
+    def test_window_limits_the_baseline(self):
+        old = [_entry(p50=100.0) for _ in range(10)]
+        recent = [_entry(p50=10.0) for _ in range(5)]
+        verdict = check(old + recent + [_entry(p50=10.5)], window=5)
+        assert verdict.ok
+        assert all(d.baseline_ms == 10.0 for d in verdict.deltas)
+
+    def test_missing_op_is_skipped(self):
+        history = [_entry(p50=10.0) for _ in range(3)]
+        for entry in history:
+            del entry["ops"]["query_cached"]
+        verdict = check(copy.deepcopy(history))
+        ops = {d.op for d in verdict.deltas}
+        assert "query_cached" not in ops
+        assert ops == set(GUARDED_OPS) - {"query_cached"}
+
+    def test_op_delta_handles_zero_baseline(self):
+        delta = OpDelta(op="x", latest_ms=1.0, baseline_ms=0.0, window=3)
+        assert delta.delta == 0.0
+        assert "x:" in delta.format()
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes (the CI contract)
+# ---------------------------------------------------------------------------
+
+class TestMain:
+    def _write_history(self, tmp_path, p50s):
+        path = str(tmp_path / "history.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            for p50 in p50s:
+                handle.write(json.dumps(_entry(p50=p50)) + "\n")
+        return path
+
+    def test_check_passes_on_flat_series(self, tmp_path, capsys):
+        path = self._write_history(tmp_path, [10.0, 10.2, 9.9, 10.1])
+        assert regress.main(["--history", path, "--check"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_exits_nonzero_on_regression(self, tmp_path, capsys):
+        path = self._write_history(tmp_path, [10.0, 10.0, 12.0])
+        assert regress.main(["--history", path, "--check"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_threshold_flag_is_respected(self, tmp_path):
+        path = self._write_history(tmp_path, [10.0, 10.0, 12.0])
+        assert regress.main(["--history", path, "--check",
+                             "--threshold", "0.25"]) == 0
+
+    def test_append_then_check(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        report_path.write_text(json.dumps(_report(p50=10.0)))
+        history = str(tmp_path / "history.jsonl")
+        for _ in range(3):
+            assert regress.main(["--history", history, "--append",
+                                 str(report_path), "--check"]) == 0
+        assert len(load_history(history)) == 3
+        out = capsys.readouterr().out
+        assert "appended" in out
+
+    def test_requires_an_action(self, tmp_path):
+        with pytest.raises(SystemExit):
+            regress.main(["--history", str(tmp_path / "h.jsonl")])
+
+
+# ---------------------------------------------------------------------------
+# pinned bench seeds (satellite 1)
+# ---------------------------------------------------------------------------
+
+class TestPinnedSeeds:
+    def test_workbench_threads_the_workload_seed(self):
+        from repro.bench.harness import BenchConfig, Workbench
+
+        config = BenchConfig.small()
+        assert config.workload_seed == 11
+        bench = Workbench(config)
+        import numpy as np
+
+        expected = np.random.default_rng(config.workload_seed)
+        got = bench.builder.rng
+        assert got.integers(0, 1 << 30) == expected.integers(0, 1 << 30)
+
+    def test_report_records_every_seed(self):
+        report = _report()
+        for key in ("seed", "workload_seed", "erasure_seed"):
+            assert key in report["config"]
+        entry = history_entry(report, sha="c" * 40, env={}, timestamp=1.0)
+        for key in ("seed", "workload_seed", "erasure_seed"):
+            assert key in entry["config"]
