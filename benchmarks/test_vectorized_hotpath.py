@@ -12,9 +12,13 @@ numbers.
 
 import json
 
+import numpy as np
+
 from repro.algorithms.join_based import JoinBasedSearch
-from repro.bench.baseline import SCHEMA, _fig9_high_pair, hotpath_report
+from repro.bench.baseline import (SCHEMA, _column_payloads, _fig9_high_pair,
+                                  hotpath_report)
 from repro.bench.harness import timed
+from repro.index.compression import decompress_column
 
 
 def test_vectorized_equals_scalar_on_hotpath(bench):
@@ -55,11 +59,40 @@ def test_level_loop_timings(bench):
     assert vector_ms > 0 and scalar_ms > 0
 
 
+def test_decompress_column_timings(bench):
+    """Decode every workload-term column both ways: equivalence asserted,
+    speedup printed (the committed baseline carries the threshold)."""
+    db = bench.dblp
+    payloads = _column_payloads(db, _fig9_high_pair(bench))
+    assert payloads, "workload terms must have columns"
+    for scheme, payload in payloads:
+        np.testing.assert_array_equal(
+            decompress_column(scheme, payload, vectorized=True),
+            decompress_column(scheme, payload, vectorized=False))
+
+    def decode_all(vectorized):
+        for scheme, payload in payloads:
+            decompress_column(scheme, payload, vectorized=vectorized)
+
+    scalar_ms = timed(lambda: decode_all(False))
+    vector_ms = timed(lambda: decode_all(True))
+    print(f"\ndecompress_column: scalar {scalar_ms:.2f}ms, "
+          f"vectorized {vector_ms:.2f}ms, "
+          f"speedup {scalar_ms / vector_ms:.2f}x")
+    assert vector_ms > 0 and scalar_ms > 0
+
+
 def test_hotpath_report_schema(bench, tmp_path):
     report = hotpath_report(bench, repeats=1, scale_label="smoke")
     assert report["schema"] == SCHEMA
     assert set(report["speedups"]) == {"level_loop", "erased_counts",
-                                       "mark_many", "result_cache"}
+                                       "mark_many", "decompress_column",
+                                       "result_cache"}
+    pool = report["batch_pool"]
+    assert set(pool["thread"]) == set(pool["process"]) == \
+        {str(width) for width in pool["workers"]}
+    assert all(qps > 0 for mode in ("thread", "process")
+               for qps in pool[mode].values())
     for entry in report["ops"].values():
         assert entry["p50_ms"] > 0
         assert entry["p95_ms"] >= entry["p50_ms"]

@@ -48,6 +48,65 @@ from .xmltree.tree import XMLTree
 ALGORITHMS = ("join", "stack", "index", "oracle")
 TOPK_ALGORITHMS = ("topk-join", "rdil", "hybrid", "join")
 
+#: The database a forked `search_batch` worker serves.  Set in the
+#: parent immediately before the fork-context pool spawns its workers,
+#: so children inherit the object -- index structures, mmap'd columns
+#: and caches -- copy-on-write, with zero serialization.
+_WORKER_DB: Optional["XMLDatabase"] = None
+
+
+def _process_batch_worker(payload):
+    """Evaluate one batch query inside a forked worker.
+
+    Runs the same cache-then-evaluate sequence as the in-process
+    `search_batch` closure, against the worker's inherited database
+    copy.  Ships back a *light* result -- ``(level, last JDewey
+    component, score, witnesses)`` per hit -- instead of pickling
+    `Node`/tree graphs; the parent rehydrates through
+    ``columnar_index.node_at``.  Exceptions come back as values so the
+    parent keeps batch error isolation.
+    """
+    index, query, semantics, k, algorithm, use_cache, deadline = payload
+    db = _WORKER_DB
+    if db is None:  # pragma: no cover - misuse guard
+        raise RuntimeError(
+            "worker process has no database; process pools must be "
+            "created by XMLDatabase.batch_executor(processes=...) or "
+            "search_batch(processes=...)")
+    start = time.perf_counter()
+    try:
+        terms = db._terms(query)
+        results: Optional[List[SearchResult]] = None
+        stats = ExecutionStats()
+        key = result_key(terms, semantics, algorithm, k)
+        if use_cache:
+            results = db.cache.get_results(key)
+            if results is not None:
+                stats.cache_hits = 1
+        if results is None:
+            if k is None:
+                results, stats = db._complete_results(
+                    terms, semantics, algorithm, deadline=deadline)
+            else:
+                top = db._topk_result(terms, semantics, algorithm, k,
+                                      deadline=deadline)
+                results, stats = list(top.results), top.stats
+            if use_cache:
+                db.cache.put_results(key, results, partial=stats.partial)
+                stats.cache_misses += 1
+        light = [(r.node.level, r.node.jdewey[-1], r.score,
+                  tuple(r.witness_scores)) for r in results]
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return index, terms, light, stats, elapsed_ms, None
+    except Exception as exc:
+        import pickle
+
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+        return index, [], None, ExecutionStats(), 0.0, exc
+
 
 class BatchResult(list):
     """The list returned by `XMLDatabase.search_batch`, plus aggregates.
@@ -200,11 +259,15 @@ class XMLDatabase:
 
         return load_database(path, **kwargs)
 
-    def save(self, path: str) -> None:
-        """Persist the document and both indexes to a directory."""
+    def save(self, path: str, **kwargs) -> None:
+        """Persist the document and both indexes to a directory.
+
+        Keyword arguments (``algorithm``, ``fsync``,
+        ``format_version``) forward to `repro.diskdb.save_database`.
+        """
         from .diskdb import save_database
 
-        save_database(self, path)
+        save_database(self, path, **kwargs)
 
     # ------------------------------------------------------------------
     # indexes (lazy)
@@ -482,6 +545,8 @@ class XMLDatabase:
                      k: Optional[int] = None,
                      algorithm: Optional[str] = None,
                      threads: Optional[int] = None,
+                     processes: Optional[int] = None,
+                     executor=None,
                      with_stats: bool = False,
                      use_cache: bool = True,
                      deadline: Optional[Union[Deadline, float]] = None,
@@ -498,7 +563,21 @@ class XMLDatabase:
 
         ``threads`` > 1 evaluates queries on a thread pool -- the index
         structures are read-only after build and the caches take a lock,
-        so results are identical to the sequential run.  With
+        so results are identical to the sequential run.  ``processes``
+        > 1 evaluates them on a fork-based process pool instead: each
+        worker inherits the database copy-on-write (for a format-v3
+        database the mmap'd columns are *shared* pages, not copies),
+        sidestepping the GIL for CPU-bound batches.  Per-worker
+        `ExecutionStats` merge into ``summary`` exactly as in-process
+        stats do, and the parent re-records every query's latency and
+        join counters, so metrics totals match a single-process run.
+        On platforms without the ``fork`` start method the call falls
+        back to a thread pool of the same width.  ``executor`` accepts
+        a reusable pool from `batch_executor` (or any
+        `ThreadPoolExecutor`) -- it is *not* shut down, so warmed
+        workers amortize across batches.  Per-query tracer spans are
+        not recorded on the process path (spans cannot cross the
+        process boundary).  With
         ``with_stats=True`` entries are ``(results, ExecutionStats)``
         pairs; a repeated query is served from the result cache
         (``stats.cache_hits == 1``) and skips level evaluation entirely
@@ -606,19 +685,35 @@ class XMLDatabase:
                 with progress_lock:
                     finished += 1
 
-        queue_depth.inc(len(queries))
+        mode, pool, own_pool = self._resolve_batch_pool(
+            threads, processes, executor)
         indexed = list(enumerate(queries))
+        queue_depth.inc(len(queries))
         try:
-            if threads is not None and threads > 1:
-                from concurrent.futures import ThreadPoolExecutor
-
+            if mode != "inline":
                 # Build lazy indexes up-front: concurrent first touches
-                # would otherwise race to construct them.
+                # would otherwise race to construct them (and forked
+                # workers must inherit them already built).
                 if algorithm in ("join", "topk-join", "hybrid"):
                     self.columnar_index
                 if algorithm in ("stack", "index", "oracle", "rdil"):
                     self.inverted_index
-                with ThreadPoolExecutor(max_workers=threads) as pool:
+            if mode == "process":
+                def on_done():
+                    nonlocal finished
+                    queue_depth.dec()
+                    with progress_lock:
+                        finished += 1
+
+                triples = self._run_batch_processes(
+                    pool, own_pool, processes, indexed, semantics, k,
+                    algorithm, use_cache, deadline, raise_on_error,
+                    errors, on_done)
+            elif mode == "thread":
+                if own_pool:
+                    with pool:
+                        triples = list(pool.map(one_isolated, indexed))
+                else:
                     triples = list(pool.map(one_isolated, indexed))
             else:
                 triples = [one_isolated(item) for item in indexed]
@@ -645,6 +740,151 @@ class XMLDatabase:
         self.metrics.histogram("repro_batch_latency_ms").observe(
             batch.elapsed_ms)
         return batch
+
+    def batch_executor(self, threads: Optional[int] = None,
+                       processes: Optional[int] = None):
+        """A reusable pool for ``search_batch(executor=...)``.
+
+        Pass exactly one of ``threads`` / ``processes``.  The process
+        flavour is a fork-context `ProcessPoolExecutor` bound to *this*
+        database: workers fork lazily on the first batch and inherit
+        the built indexes (and any format-v3 mmap) copy-on-write, so
+        reusing the executor across batches amortizes both worker
+        startup and page warmup.  Handing it to a different database's
+        ``search_batch`` raises.  On platforms without the ``fork``
+        start method a thread pool of the same width is returned
+        instead.  The caller owns the executor: ``search_batch`` never
+        shuts it down, call ``.shutdown()`` (or use it as a context
+        manager) when done.
+        """
+        if (threads is None) == (processes is None):
+            raise ValueError("pass exactly one of threads= / processes=")
+        from concurrent.futures import (ProcessPoolExecutor,
+                                        ThreadPoolExecutor)
+
+        if threads is not None:
+            pool = ThreadPoolExecutor(max_workers=threads)
+            pool._repro_mode = "thread"
+            return pool
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            # pragma: no cover - spawn-only platforms
+            pool = ThreadPoolExecutor(max_workers=processes)
+            pool._repro_mode = "thread"
+            return pool
+        global _WORKER_DB
+        _WORKER_DB = self
+        pool = ProcessPoolExecutor(
+            max_workers=processes,
+            mp_context=multiprocessing.get_context("fork"))
+        pool._repro_mode = "process"
+        pool._repro_db_id = id(self)
+        return pool
+
+    def _resolve_batch_pool(self, threads: Optional[int],
+                            processes: Optional[int], executor):
+        """Pick the batch execution mode: ``("inline"|"thread"|"process",
+        pool, own_pool)``.  Validates reused executors and falls back
+        from processes to threads when ``fork`` is unavailable."""
+        if executor is not None:
+            if threads is not None or processes is not None:
+                raise ValueError(
+                    "pass either executor= or threads=/processes=, "
+                    "not both")
+            from concurrent.futures import ProcessPoolExecutor
+
+            mode = getattr(executor, "_repro_mode", None)
+            if mode is None:
+                mode = ("process"
+                        if isinstance(executor, ProcessPoolExecutor)
+                        else "thread")
+            if mode == "process":
+                if getattr(executor, "_repro_db_id", None) != id(self):
+                    raise ValueError(
+                        "process executors must come from this "
+                        "database's batch_executor(processes=...) -- "
+                        "workers fork holding a copy of the database")
+            return mode, executor, False
+        if threads is not None and processes is not None:
+            raise ValueError("pass either threads= or processes=")
+        if processes is not None and processes > 1:
+            import multiprocessing
+
+            if "fork" in multiprocessing.get_all_start_methods():
+                return "process", None, True
+            threads = processes  # pragma: no cover - spawn-only platforms
+        if threads is not None and threads > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            pool = ThreadPoolExecutor(max_workers=threads)
+            pool._repro_mode = "thread"
+            return "thread", pool, True
+        return "inline", None, False
+
+    def _run_batch_processes(self, pool, own_pool, processes, indexed,
+                             semantics, k, algorithm, use_cache, deadline,
+                             raise_on_error, errors, on_done):
+        """Fan a batch out to forked workers and rehydrate the results.
+
+        The parent re-records every successful query
+        (`_record_query`), so latency histograms and join counters in
+        the metrics registry equal a single-process run of the same
+        batch; worker-side registries are forked copies and discarded.
+        """
+        global _WORKER_DB
+        _WORKER_DB = self
+        if pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(
+                max_workers=processes,
+                mp_context=multiprocessing.get_context("fork"))
+        try:
+            futures = [
+                pool.submit(_process_batch_worker,
+                            (index, query, semantics, k, algorithm,
+                             use_cache, deadline))
+                for index, query in indexed]
+            columnar = self.columnar_index
+            triples = [None] * len(indexed)
+            for future in futures:
+                index, terms, light, stats, elapsed_ms, exc = \
+                    future.result()
+                on_done()
+                if exc is not None:
+                    if raise_on_error:
+                        raise exc
+                    if isinstance(exc, DeadlineExceeded):
+                        self.metrics.counter(
+                            "repro_deadline_hits_total",
+                            {"outcome": "error"}).inc()
+                    self.metrics.counter(
+                        "repro_batch_query_errors_total").inc()
+                    errors[index] = exc
+                    triples[index] = (None, ExecutionStats(), 0.0)
+                    continue
+                results = [
+                    SearchResult(columnar.node_at(level, number), level,
+                                 score, witnesses)
+                    for level, number, score, witnesses in light]
+                if use_cache and not stats.cache_hits:
+                    # Mirror the worker's put into the parent cache so
+                    # later batches (any mode) see the warm entry.
+                    self.cache.put_results(
+                        result_key(terms, semantics, algorithm, k),
+                        results, partial=stats.partial)
+                if stats.partial:
+                    self.metrics.counter("repro_deadline_hits_total",
+                                         {"outcome": "partial"}).inc()
+                self._record_query("batch", terms, semantics, algorithm,
+                                   k, elapsed_ms, stats, None)
+                triples[index] = (results, stats, elapsed_ms)
+            return triples
+        finally:
+            if own_pool:
+                pool.shutdown(wait=True)
 
     def search_stream(self, query: Union[str, Sequence[str], Query],
                       semantics: str = ELCA,

@@ -17,14 +17,26 @@ Schema (``repro.bench.hotpath/v1``)::
       "workload": {"queries": [[term, ...], ...], "semantics": "elca"},
       "ops": {"<op>": {"p50_ms": float, "p95_ms": float, "repeats": int}},
       "metrics": {...},               # MetricsRegistry.snapshot() of the run
-      "speedups": {"<pair>": float}   # scalar p50 / vectorized p50
+      "speedups": {"<pair>": float},  # scalar p50 / vectorized p50
+      "batch_pool": {                 # search_batch throughput (qps)
+        "queries": int, "workers": [1, 2, 4],
+        "thread": {"1": float, ...}, "process": {"1": float, ...}
+      }
     }
 
 Ops: ``level_loop_scalar`` / ``level_loop_vectorized`` (one complete
 ELCA evaluation of every workload query), ``erased_counts_scalar`` /
 ``erased_counts_bulk``, ``mark_many_scalar`` / ``mark_many_bulk`` (the
-erasure micro-ops), ``query_uncached`` / ``query_cached`` (one query
+erasure micro-ops), ``decompress_column_scalar`` /
+``decompress_column_vectorized`` (decoding the workload terms'
+compressed level columns -- exactly what a lazy v3 load pays when
+serving these queries), ``query_uncached`` / ``query_cached`` (one query
 through `XMLDatabase.search_batch`, result cache cold vs warm).
+
+The ``batch_pool`` section times `search_batch` on the XMark corpus
+under the thread pool vs the fork-based process pool at 1/2/4 workers;
+the acceptance bar for the multi-process path is process qps > thread
+qps at 2+ workers.
 """
 
 from __future__ import annotations
@@ -32,12 +44,13 @@ from __future__ import annotations
 import argparse
 import json
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..algorithms.erasure import make_eraser
 from ..algorithms.join_based import JoinBasedSearch
+from ..index.compression import compress_column, decompress_column
 from ..obs.metrics import get_registry
 from .harness import BenchConfig, Workbench
 
@@ -87,6 +100,77 @@ def _erasure_fixture(seed: int = ERASURE_SEED, size: int = 200_000,
     q_highs = (q_lows
                + rng.integers(1, 500, size=n_queries)).clip(max=size)
     return size, mark_lows, mark_highs, q_lows, q_highs
+
+
+def _column_payloads(db, queries: List[List[str]]) -> List:
+    """The compressed level columns of every workload term -- the bytes
+    a lazy v3 load decodes when serving these queries."""
+    index = db.columnar_index
+    payloads = []
+    for term in sorted({term for query in queries for term in query}):
+        postings = index.term_postings(term)
+        for level in range(1, postings.max_len + 1):
+            payloads.append(compress_column(postings.column(level).values))
+    return payloads
+
+
+def _xmark_batch_queries(db, n_queries: int) -> List[str]:
+    """Two-keyword conjunctions over the most frequent XMark terms --
+    enough per-query work that pool dispatch overhead is not the story."""
+    index = db.columnar_index
+    by_freq = sorted(index.vocabulary,
+                     key=lambda term: -len(index.term_postings(term).seqs))
+    top = [term for term in by_freq if term.isalpha()][:16] or by_freq[:16]
+    queries = []
+    for i in range(n_queries):
+        queries.append(f"{top[i % len(top)]} "
+                       f"{top[(i * 7 + 3) % len(top)]}")
+    return queries
+
+
+def batch_pool_report(bench: Workbench,
+                      workers: Sequence[int] = (1, 2, 4),
+                      n_queries: int = 32) -> Dict:
+    """Thread-pool vs process-pool `search_batch` throughput (qps).
+
+    The workload is top-K serving (k=10, the paper's headline mode), so
+    the per-query result transfer between processes stays tiny while the
+    per-query evaluation work is real.  Pools are built outside the
+    timed region (both modes), the result cache is off so every run does
+    identical work, and the process pool inherits the parent index
+    copy-on-write over ``fork`` -- the same shape `repro serve-batch`
+    uses.  On a single-core host neither pool can beat inline serving
+    (there is no parallelism to buy); interpret the qps table alongside
+    the recorded ``cpu_count``.
+    """
+    import os
+
+    db = bench.xmark
+    db.columnar_index
+    queries = _xmark_batch_queries(db, n_queries)
+    db.search_batch(queries[:4], k=10, use_cache=False)   # warm the index
+
+    report: Dict = {"queries": len(queries), "workers": list(workers),
+                    "cpu_count": os.cpu_count(), "k": 10,
+                    "thread": {}, "process": {}}
+    for mode in ("thread", "process"):
+        for width in workers:
+            pool = (db.batch_executor(threads=width) if mode == "thread"
+                    else db.batch_executor(processes=width))
+            try:
+                db.search_batch(queries[:2], k=10, executor=pool,
+                                use_cache=False)    # pool warmup
+                start = time.perf_counter()
+                batch = db.search_batch(queries, k=10, executor=pool,
+                                        use_cache=False)
+                elapsed = time.perf_counter() - start
+            finally:
+                pool.shutdown(wait=True)
+            if not batch.ok:
+                raise RuntimeError(f"batch_pool {mode}x{width} had errors:"
+                                   f" {batch.errors}")
+            report[mode][str(width)] = len(queries) / elapsed
+    return report
 
 
 def hotpath_report(bench: Workbench, repeats: int = 5,
@@ -150,6 +234,18 @@ def hotpath_report(bench: Workbench, repeats: int = 5,
     mark_scalar_p50 = measure("mark_many_scalar", mark_scalar)
     mark_bulk_p50 = measure("mark_many_bulk", mark_bulk)
 
+    # -- column decode: scalar reference vs numpy-batched -------------
+    payloads = _column_payloads(db, queries)
+
+    def decode_all(vectorized: bool):
+        for scheme, payload in payloads:
+            decompress_column(scheme, payload, vectorized=vectorized)
+
+    decode_scalar_p50 = measure("decompress_column_scalar",
+                                lambda: decode_all(False))
+    decode_vector_p50 = measure("decompress_column_vectorized",
+                                lambda: decode_all(True))
+
     # -- query serving: result cache cold vs warm ---------------------
     query = queries[0]
 
@@ -182,8 +278,10 @@ def hotpath_report(bench: Workbench, repeats: int = 5,
             "level_loop": scalar_p50 / vector_p50,
             "erased_counts": counts_scalar_p50 / counts_bulk_p50,
             "mark_many": mark_scalar_p50 / mark_bulk_p50,
+            "decompress_column": decode_scalar_p50 / decode_vector_p50,
             "result_cache": uncached_p50 / cached_p50,
         },
+        "batch_pool": batch_pool_report(bench),
     }
 
 
@@ -209,6 +307,11 @@ def main(argv: Optional[List[str]] = None) -> None:
     speedups = ", ".join(f"{name} {value:.2f}x"
                          for name, value in report["speedups"].items())
     print(f"wrote {args.out} ({scale}): {speedups}")
+    pool = report["batch_pool"]
+    for mode in ("thread", "process"):
+        qps = ", ".join(f"{width}w {pool[mode][width]:.0f} qps"
+                        for width in sorted(pool[mode], key=int))
+        print(f"batch_pool[{mode}]: {qps}")
     if args.history:
         from .regress import append_run
 

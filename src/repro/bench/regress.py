@@ -54,6 +54,7 @@ GUARDED_OPS = (
     "level_loop_vectorized",
     "erased_counts_bulk",
     "mark_many_bulk",
+    "decompress_column_vectorized",
     "query_uncached",
     "query_cached",
 )

@@ -6,6 +6,7 @@
     python -m repro generate dblp mydb/ --papers 5000
     python -m repro search mydb/ "xml data" --semantics slca
     python -m repro topk mydb/ "xml keyword search" -k 10
+    python -m repro serve-batch mydb/ queries.txt --processes 4 -k 10
     python -m repro info mydb/
     python -m repro trace mydb/ "xml data" --out trace.jsonl
     python -m repro audit mydb/ "xml data" --shadow sampled
@@ -111,9 +112,10 @@ def cmd_index(args: argparse.Namespace) -> int:
     db = XMLDatabase.from_tree(parse_xml_file(args.xml_file))
     db.columnar_index
     db.inverted_index
-    db.save(args.output)
+    db.save(args.output, format_version=args.format_version)
     print(f"indexed {len(db)} nodes "
-          f"({len(db.inverted_index.vocabulary)} terms) -> {args.output}")
+          f"({len(db.inverted_index.vocabulary)} terms) -> {args.output} "
+          f"(format v{args.format_version})")
     return 0
 
 
@@ -125,9 +127,64 @@ def cmd_generate(args: argparse.Namespace) -> int:
         db = XMLDatabase.generate_xmark(seed=args.seed, scale=args.scale)
     db.columnar_index
     db.inverted_index
-    db.save(args.output)
-    print(f"generated {args.corpus}: {len(db)} nodes -> {args.output}")
+    db.save(args.output, format_version=args.format_version)
+    print(f"generated {args.corpus}: {len(db)} nodes -> {args.output} "
+          f"(format v{args.format_version})")
     return 0
+
+
+def cmd_serve_batch(args: argparse.Namespace) -> int:
+    """Evaluate a query workload as one `search_batch` call.
+
+    The database loads in the lazy, mmap-backed mode when it is a
+    saved directory (format v3 then serves columns zero-copy and the
+    forked workers of ``--processes`` share the mapping); ``--eager``
+    opts back into the fully materialized load.
+    """
+    if args.queries == "-":
+        lines = sys.stdin.readlines()
+    else:
+        if not os.path.exists(args.queries):
+            raise FileNotFoundError(f"no such query file: {args.queries}")
+        with open(args.queries, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    queries = [line.strip() for line in lines
+               if line.strip() and not line.lstrip().startswith("#")]
+    if not queries:
+        print("error: no queries in the workload", file=sys.stderr)
+        return 1
+    if os.path.isdir(args.database):
+        from .diskdb import load_database
+
+        db = load_database(args.database, lazy=not args.eager,
+                           verify="eager" if args.eager else "lazy")
+    else:
+        db = _load(args.database)
+    batch = db.search_batch(queries, k=args.k, semantics=args.semantics,
+                            algorithm=args.algorithm,
+                            threads=args.threads,
+                            processes=args.processes,
+                            use_cache=not args.no_cache,
+                            **_budget_kwargs(args))
+    if not args.quiet:
+        for index, (query, entry) in enumerate(zip(queries, batch)):
+            if index in batch.errors:
+                print(f"{index:>4}. ERROR {batch.errors[index]}  {query}")
+            else:
+                print(f"{index:>4}. {len(entry):>5} results  "
+                      f"{batch.latencies_ms[index]:>8.2f} ms  {query}")
+    mode = (f"processes={args.processes}" if args.processes
+            else f"threads={args.threads}" if args.threads
+            else "inline")
+    qps = len(queries) / (batch.elapsed_ms / 1000.0) \
+        if batch.elapsed_ms > 0 else float("inf")
+    print(f"batch: {len(queries)} queries in {batch.elapsed_ms:.1f} ms "
+          f"({qps:.1f} qps, {mode}), {len(batch.errors)} errors")
+    s = batch.summary
+    print(f"work: levels={s.levels_processed} joins={s.joins} "
+          f"tuples={s.tuples_scanned} cache_hits={s.cache_hits} "
+          f"cache_misses={s.cache_misses}")
+    return 1 if (batch.errors and args.fail_on_error) else 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -315,6 +372,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("index", help="index an XML file into a database")
     p.add_argument("xml_file")
     p.add_argument("output", help="database directory to create")
+    p.add_argument("--format-version", type=int, choices=(1, 2, 3),
+                   default=2,
+                   help="on-disk format: 2 = blocked+checksummed "
+                        "(default), 3 = block-aligned zero-copy mmap, "
+                        "1 = legacy bare blobs")
     p.set_defaults(fn=cmd_index)
 
     p = sub.add_parser("generate",
@@ -326,7 +388,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="DBLP paper count")
     p.add_argument("--scale", type=float, default=0.01,
                    help="XMark scale factor")
+    p.add_argument("--format-version", type=int, choices=(1, 2, 3),
+                   default=2,
+                   help="on-disk format: 2 = blocked+checksummed "
+                        "(default), 3 = block-aligned zero-copy mmap, "
+                        "1 = legacy bare blobs")
     p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("serve-batch",
+                       help="evaluate a query workload as one batch "
+                            "(multi-process with --processes)")
+    p.add_argument("database", help="database directory or XML file")
+    p.add_argument("queries",
+                   help="file with one query per line ('-' = stdin; "
+                        "blank lines and #-comments skipped)")
+    p.add_argument("-k", type=int, default=None,
+                   help="run top-K evaluations instead of complete")
+    p.add_argument("--semantics", choices=("elca", "slca"),
+                   default="elca")
+    p.add_argument("--algorithm", default=None,
+                   help="override the per-mode default algorithm")
+    p.add_argument("--processes", type=int, default=None,
+                   help="fork-based worker processes (workers share "
+                        "the mmap'd v3 store copy-on-write)")
+    p.add_argument("--threads", type=int, default=None)
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the result cache")
+    p.add_argument("--eager", action="store_true",
+                   help="fully materialize the database at load "
+                        "instead of the lazy mmap-backed mode")
+    p.add_argument("--timeout-ms", type=float, default=None,
+                   help="shared budget for the whole batch")
+    p.add_argument("--partial", action="store_true",
+                   help="partial results on an expired budget")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-query lines")
+    p.add_argument("--fail-on-error", action="store_true",
+                   help="exit 1 if any query in the batch failed")
+    p.set_defaults(fn=cmd_serve_batch)
 
     p = sub.add_parser("info", help="database statistics and index sizes")
     p.add_argument("database")

@@ -30,7 +30,18 @@ Format v2 (`repro.reliability`) adds integrity and atomicity:
   through a `FaultInjector` plus bounded `RetryPolicy` so transient
   I/O errors heal and permanent ones surface typed.
 
-Version-1 directories (no checksums, bare blobs) still load.
+Format v3 keeps the v2 guarantees and makes the columnar file
+*block-aligned* (``JDX3``, `repro.index.storage`): every per-term,
+per-level payload is offset-indexed and 8-byte-padded, so
+`load_database` memory-maps ``columnar.bin`` (`reliability.io.map_bytes`)
+and the lazy reader materializes columns as ``np.frombuffer`` views --
+no whole-payload ``bytes`` copy, and forked `search_batch` workers
+share the mapping copy-on-write.  The Dewey file stays in the v2
+blocked format.  Saving v3 is opt-in
+(``save_database(..., format_version=3)``); the default stays v2.
+
+Version-1 directories (no checksums, bare blobs) still load, and can
+still be written (``format_version=1``) for round-trip testing.
 
 Only the default `TfIdfScorer`/`SumCombiner` ranking configuration (any
 damping base) round-trips from metadata; databases built with custom
@@ -59,13 +70,13 @@ from .reliability.checksum import verify as digest_matches
 from .reliability.errors import (DatabaseCorruptError, DatabaseFormatError,
                                  RetryExhaustedError)
 from .reliability.faults import FaultInjector
-from .reliability.io import fsync_dir, read_bytes, write_bytes
+from .reliability.io import fsync_dir, map_bytes, read_bytes, write_bytes
 from .reliability.retry import DEFAULT_POLICY, RetryPolicy
 from .scoring.ranking import DampingFunction, RankingModel
 from .xmltree.parser import parse_xml
 
 FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 _DOCUMENT = "document.xml"
 _META = "meta.json"
@@ -88,7 +99,8 @@ def _fault_hook(stage: str) -> None:
 
 def save_database(db: XMLDatabase, path: str,
                   algorithm: Optional[str] = None,
-                  fsync: bool = True) -> None:
+                  fsync: bool = True,
+                  format_version: Optional[int] = None) -> None:
     """Write `db` (document + both indexes) to directory `path`, atomically.
 
     Builds any index not yet built.  All files are staged in a sibling
@@ -98,20 +110,40 @@ def save_database(db: XMLDatabase, path: str,
     (default `repro.reliability.DEFAULT_ALGORITHM`); ``fsync=False``
     trades durability for speed (tests, throwaway dirs).
 
+    ``format_version`` selects the on-disk format: 2 (default, blocked
+    checksummed containers), 3 (block-aligned columnar container that
+    loads zero-copy from an mmap) or 1 (legacy bare blobs, no
+    checksums -- kept writable for round-trip tests).
+
     Bytes written are published as ``repro_disk_bytes_written_total``
     in the process metrics registry.
     """
     metrics = get_registry()
     algorithm = algorithm if algorithm is not None else DEFAULT_ALGORITHM
+    version = FORMAT_VERSION if format_version is None else int(format_version)
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(f"unknown format version {version!r}; "
+                         f"one of {_SUPPORTED_VERSIONS}")
     document = db.tree.to_xml().encode("utf-8")
-    columnar_blob = storage.serialize_columnar_index_blocked(
-        db.columnar_index, score_mode=storage.SCORES_EXACT,
-        algorithm=algorithm)
-    dewey_blob = storage.serialize_inverted_index_blocked(
-        db.inverted_index, score_mode=storage.SCORES_EXACT,
-        algorithm=algorithm)
+    if version == 1:
+        columnar_blob = storage.serialize_columnar_index(
+            db.columnar_index, score_mode=storage.SCORES_EXACT)
+        dewey_blob = storage.serialize_inverted_index(
+            db.inverted_index, score_mode=storage.SCORES_EXACT)
+    else:
+        if version == 3:
+            columnar_blob = storage.serialize_columnar_index_v3(
+                db.columnar_index, score_mode=storage.SCORES_EXACT,
+                algorithm=algorithm)
+        else:
+            columnar_blob = storage.serialize_columnar_index_blocked(
+                db.columnar_index, score_mode=storage.SCORES_EXACT,
+                algorithm=algorithm)
+        dewey_blob = storage.serialize_inverted_index_blocked(
+            db.inverted_index, score_mode=storage.SCORES_EXACT,
+            algorithm=algorithm)
     meta = {
-        "format_version": FORMAT_VERSION,
+        "format_version": version,
         "jdewey_gap": db.encoder.gap,
         "n_docs": db.inverted_index.n_docs,
         "damping_base": db.ranking.damping.base,
@@ -120,15 +152,16 @@ def save_database(db: XMLDatabase, path: str,
             "min_length": db.tokenizer.min_length,
         },
         "n_nodes": len(db.tree),
-        "checksum": {
+    }
+    if version >= 2:
+        meta["checksum"] = {
             "algorithm": algorithm,
             "files": {
                 _DOCUMENT: hex_digest(document, algorithm),
                 _COLUMNAR: hex_digest(columnar_blob, algorithm),
                 _DEWEY: hex_digest(dewey_blob, algorithm),
             },
-        },
-    }
+        }
     meta_blob = json.dumps(meta, indent=2, sort_keys=True).encode("utf-8")
 
     parent = os.path.dirname(os.path.abspath(path)) or "."
@@ -172,6 +205,7 @@ def load_database(path: str,
                   lazy: bool = False,
                   injector: Optional[FaultInjector] = None,
                   retry: Optional[RetryPolicy] = None,
+                  vectorized: bool = True,
                   **db_kwargs) -> XMLDatabase:
     """Open a directory written by `save_database`.
 
@@ -192,6 +226,14 @@ def load_database(path: str,
       `FaultInjector` and a bounded `RetryPolicy` (defaults to
       `DEFAULT_POLICY` when an injector is installed), so transient
       faults heal; exhausted retries surface as `DatabaseCorruptError`.
+      For a format-v3 database an installed injector downgrades the
+      columnar mmap to a plain (fault-observable) read.
+    * ``vectorized`` -- use the numpy batched column decoders
+      (default); ``False`` falls back to the scalar reference decoders.
+
+    A format-v3 database maps ``columnar.bin`` instead of reading it:
+    the returned database holds the mapping for its lifetime and column
+    decompression runs on zero-copy views of it.
 
     Raises `DatabaseFormatError` on missing files, version mismatch, or
     a document that no longer matches the stored indexes, and
@@ -285,7 +327,22 @@ def load_database(path: str,
         raise DatabaseFormatError(
             f"{_META} carries an invalid configuration: {exc}") from exc
 
-    columnar_blob = read_file(_COLUMNAR, "read-columnar")
+    if version >= 3:
+        # Zero-copy path: mmap the columnar container.  With a fault
+        # injector installed `map_bytes` degrades to the copying read
+        # so the fault matrix stays observable.
+        try:
+            columnar_source = map_bytes(
+                os.path.join(path, _COLUMNAR), injector=injector,
+                retry=retry, metrics=metrics, op="read-columnar")
+        except RetryExhaustedError as exc:
+            raise DatabaseCorruptError(
+                f"could not read {_COLUMNAR}: {exc}",
+                file=_COLUMNAR) from exc
+        columnar_blob = getattr(columnar_source, "view", columnar_source)
+    else:
+        columnar_source = columnar_blob = read_file(_COLUMNAR,
+                                                    "read-columnar")
     dewey_blob = read_file(_DEWEY, "read-dewey")
     bytes_read.inc(len(columnar_blob) + len(dewey_blob))
     verify_file(_DEWEY, dewey_blob)
@@ -309,13 +366,17 @@ def load_database(path: str,
 
     if lazy:
         lazy_index = LazyColumnarIndex(
-            columnar_blob, tree, tokenizer, ranking,
+            columnar_source, tree, tokenizer, ranking,
             verify=verify if version >= 2 else "off",
-            source=_COLUMNAR, metrics=metrics)
+            source=_COLUMNAR, metrics=metrics, vectorized=vectorized)
         lazy_index.n_docs = n_docs
         db._columnar = lazy_index
     else:
-        if version >= 2:
+        if version >= 3:
+            columnar_postings = storage.deserialize_columnar_index_v3(
+                columnar_blob, verify=False, file=_COLUMNAR,
+                vectorized=vectorized)
+        elif version == 2:
             columnar_postings = storage.deserialize_columnar_index_blocked(
                 columnar_blob, verify=False, file=_COLUMNAR)
         else:

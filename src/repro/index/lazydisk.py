@@ -30,8 +30,9 @@ from ..xmltree.tree import Node, XMLTree
 from .columnar import Column, ColumnarPostings
 from .compression import decompress_column, read_varint
 from .storage import (_MAGIC_COLUMNAR, _MAGIC_COLUMNAR_BLOCKED,
-                      _PARSE_ERRORS, BlockRef, scan_blocked_container,
-                      verify_block)
+                      _MAGIC_COLUMNAR_V3, _PARSE_ERRORS, BlockRef,
+                      parse_v3_payload, scan_blocked_container,
+                      scan_v3_container, verify_block)
 from .tokenizer import Tokenizer
 
 
@@ -65,9 +66,12 @@ class LazyColumnarPostings(ColumnarPostings):
     def __init__(self, term: str, lengths: Sequence[int],
                  level_payloads: List[Tuple[str, bytes]],
                  scores: Sequence[float],
-                 io_stats: Optional[IOStats] = None):
+                 io_stats: Optional[IOStats] = None,
+                 vectorized: bool = True, metrics=None):
         # Deliberately *not* calling super().__init__: the whole point
-        # is to avoid building `seqs`.
+        # is to avoid building `seqs`.  When backed by a format-v3 mmap
+        # the lengths/scores/payload buffers are read-only numpy views
+        # into the mapping; `np.asarray` keeps them view-shaped.
         self.term = term
         self.lengths = np.asarray(lengths, dtype=np.int64)
         self.scores = np.asarray(scores, dtype=np.float64)
@@ -75,6 +79,8 @@ class LazyColumnarPostings(ColumnarPostings):
         self._level_payloads = level_payloads
         self._columns: Dict[int, Column] = {}
         self.io = io_stats if io_stats is not None else IOStats()
+        self.vectorized = vectorized
+        self.metrics = metrics
 
     @property
     def seqs(self):
@@ -103,8 +109,14 @@ class LazyColumnarPostings(ColumnarPostings):
             check_active()
             scheme, payload = self._level_payloads[level - 1]
             self.io.record(level, len(payload))
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_decode_bytes_total",
+                    {"decoder": "vectorized" if self.vectorized
+                     else "scalar"}).inc(len(payload))
             with profile_phase("decompress"):
-                values = decompress_column(scheme, payload)
+                values = decompress_column(scheme, payload,
+                                           vectorized=self.vectorized)
         column = Column(level, values, seq_idx)
         self._columns[level] = column
         return column
@@ -116,7 +128,8 @@ class LazyColumnarPostings(ColumnarPostings):
 
 
 def parse_lazy_postings(data: bytes, pos: int = 0,
-                        io_stats: Optional[IOStats] = None
+                        io_stats: Optional[IOStats] = None,
+                        vectorized: bool = True, metrics=None
                         ) -> Tuple[LazyColumnarPostings, int]:
     """Parse one term written by `storage.serialize_columnar_postings`,
     keeping the column payloads compressed."""
@@ -151,7 +164,22 @@ def parse_lazy_postings(data: bytes, pos: int = 0,
     else:
         raise ValueError(f"unknown score mode {score_mode}")
     return LazyColumnarPostings(term, lengths, payloads, scores,
-                                io_stats), pos
+                                io_stats, vectorized=vectorized,
+                                metrics=metrics), pos
+
+
+def parse_lazy_postings_v3(term: str, payload,
+                           io_stats: Optional[IOStats] = None,
+                           vectorized: bool = True, metrics=None,
+                           file: Optional[str] = None
+                           ) -> LazyColumnarPostings:
+    """Wrap one format-v3 payload (a memoryview slice of the mmap) as
+    lazy postings whose lengths/scores/columns are zero-copy views."""
+    lengths, scores, level_payloads = parse_v3_payload(term, payload,
+                                                       file=file)
+    return LazyColumnarPostings(term, lengths, level_payloads, scores,
+                                io_stats, vectorized=vectorized,
+                                metrics=metrics)
 
 
 class LazyColumnarIndex:
@@ -161,9 +189,12 @@ class LazyColumnarIndex:
     payloads stay compressed until a query touches them.  One shared
     `IOStats` instrument records every decompression.
 
-    Accepts both the bare v1 blob (``JDXC``) and the checksummed
-    blocked v2 container (``JDXB``, `repro.index.storage`).  For v2 the
-    ``verify`` mode controls when block checksums are checked:
+    Accepts the bare v1 blob (``JDXC``), the checksummed blocked v2
+    container (``JDXB``) and the aligned v3 container (``JDX3``) --
+    the latter usually as a `reliability.io.MappedFile`, in which case
+    every column materializes as a zero-copy view over the mapping.
+    For v2/v3 the ``verify`` mode controls when block checksums are
+    checked:
 
     * ``"lazy"`` (default) -- on a term's first touch, right before its
       payload is parsed.  Matches the lazy-I/O design: a query only
@@ -178,11 +209,11 @@ class LazyColumnarIndex:
     is wired in.
     """
 
-    def __init__(self, blob: bytes, tree: XMLTree,
+    def __init__(self, blob, tree: XMLTree,
                  tokenizer: Optional[Tokenizer] = None,
                  ranking: Optional[RankingModel] = None,
                  verify: str = "lazy", source: Optional[str] = None,
-                 metrics=None):
+                 metrics=None, vectorized: bool = True):
         if verify not in ("lazy", "eager", "off"):
             raise ValueError(f"unknown verify mode {verify!r}; "
                              "one of ('lazy', 'eager', 'off')")
@@ -193,20 +224,38 @@ class LazyColumnarIndex:
         self.verify = verify
         self.source = source
         self.metrics = metrics
-        self._blob = blob
+        self.vectorized = vectorized
+        # `blob` may be bytes or a `reliability.io.MappedFile`; holding
+        # the backing object here is what keeps the mmap (and every
+        # numpy view into it) alive for the index's lifetime.
+        self._backing = blob
+        self._blob = blob.view if hasattr(blob, "view") else blob
         self._postings: Dict[str, LazyColumnarPostings] = {}
         self._blocks: Dict[str, BlockRef] = {}
         self._algorithm: Optional[str] = None
-        magic = blob[:4]
+        self._format = 0
+        magic = bytes(self._blob[:4])
         if magic == _MAGIC_COLUMNAR:
+            blob = self._blob
             pos = 4
             n_terms, pos = read_varint(blob, pos)
             for _ in range(n_terms):
-                postings, pos = parse_lazy_postings(blob, pos, self.io)
+                postings, pos = parse_lazy_postings(
+                    blob, pos, self.io, vectorized=vectorized,
+                    metrics=metrics)
                 self._postings[postings.term] = postings
         elif magic == _MAGIC_COLUMNAR_BLOCKED:
+            self._format = 2
             self._algorithm, refs = scan_blocked_container(
-                blob, _MAGIC_COLUMNAR_BLOCKED, file=source)
+                self._blob, _MAGIC_COLUMNAR_BLOCKED, file=source)
+            self._blocks = {ref.term: ref for ref in refs}
+            if verify == "eager":
+                for term in list(self._blocks):
+                    self._parse_block(term)
+        elif magic == _MAGIC_COLUMNAR_V3:
+            self._format = 3
+            self._algorithm, refs = scan_v3_container(
+                self._blob, file=source)
             self._blocks = {ref.term: ref for ref in refs}
             if verify == "eager":
                 for term in list(self._blocks):
@@ -221,7 +270,12 @@ class LazyColumnarIndex:
         self.n_docs = 0
 
     def _parse_block(self, term: str) -> LazyColumnarPostings:
-        """Verify (per the mode) and parse one v2 block on first touch."""
+        """Verify (per the mode) and parse one block on first touch.
+
+        For a v3 container the payload slice stays a memoryview of the
+        mmap and the postings' columns become `np.frombuffer` views --
+        no bytes copy happens here or later.
+        """
         ref = self._blocks.pop(term)
         try:
             if self.verify != "off":
@@ -229,7 +283,14 @@ class LazyColumnarIndex:
                                        file=self.source)
             else:
                 payload = self._blob[ref.offset: ref.offset + ref.length]
-            postings, _ = parse_lazy_postings(payload, 0, self.io)
+            if self._format == 3:
+                postings = parse_lazy_postings_v3(
+                    term, payload, self.io, vectorized=self.vectorized,
+                    metrics=self.metrics, file=self.source)
+            else:
+                postings, _ = parse_lazy_postings(
+                    payload, 0, self.io, vectorized=self.vectorized,
+                    metrics=self.metrics)
         except DatabaseCorruptError:
             if self.metrics is not None:
                 self.metrics.counter(

@@ -23,6 +23,7 @@ actual baselines run in memory.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -482,6 +483,268 @@ def guarded_deserialize_inverted(data: bytes, file: str = None
     except _PARSE_ERRORS as exc:
         raise DatabaseCorruptError(
             f"Dewey blob does not parse: {exc}", file=file) from exc
+
+
+# ---------------------------------------------------------------------------
+# Block-aligned container (persistence format v3, zero-copy)
+# ---------------------------------------------------------------------------
+#
+# The v2 payloads interleave varints with column bytes, so every column
+# must be *parsed into* existence.  The v3 columnar container instead
+# offset-indexes and 8-byte-aligns every region, so a reader holding an
+# mmap'd buffer materializes any column as an ``np.frombuffer`` view --
+# no intermediate ``bytes`` copy, and forked workers share the pages.
+#
+# Container layout (all integers little-endian, every frame and payload
+# start 8-aligned, pad bytes zero)::
+#
+#     magic "JDX3" (4) | algorithm id (1) | pad (3) | n_terms u64
+#     per term:  u32 term_len | u64 payload_len | u32 crc
+#                | term bytes | pad to 8 | payload | pad to 8
+#
+# Per-term payload (offsets relative to the payload start)::
+#
+#     0   u64 n_seqs
+#     8   u32 max_len
+#     12  u32 score_mode
+#     16  u64 lengths_off
+#     24  u64 scores_off          (0 when score_mode == SCORES_NONE)
+#     32  u64 level_offs[max_len]
+#     ..  u64 level_lens[max_len]
+#     ..  u8  schemes[max_len]    (0 = rle, 1 = delta), pad to 8
+#     lengths_off   int64[n_seqs]
+#     scores_off    float64[n_seqs] (EXACT) or uint16[n_seqs] (QUANTIZED),
+#                   pad to 8
+#     level_offs[l] the compressed column of level l+1, pad to 8
+#
+# The Dewey file of a v3 database stays in the v2 blocked format -- it
+# is only read by the eager consistency pass, never on the query path.
+
+_MAGIC_COLUMNAR_V3 = b"JDX3"
+_V3_FILE_HEADER = struct.Struct("<4sB3xQ")      # magic, algo id, n_terms
+_V3_FRAME = struct.Struct("<IQI")               # term_len, payload_len, crc
+_V3_PAYLOAD_HEADER = struct.Struct("<QIIQQ")    # n_seqs, max_len,
+                                                # score_mode, lengths_off,
+                                                # scores_off
+
+
+def _align8(pos: int) -> int:
+    return (pos + 7) & ~7
+
+
+def serialize_columnar_postings_v3(postings: ColumnarPostings,
+                                   score_mode: int = SCORES_EXACT) -> bytes:
+    """One term's offset-indexed, 8-aligned payload (format v3)."""
+    n_seqs = len(postings)
+    max_len = int(postings.max_len)
+    columns: List[bytes] = []
+    schemes = bytearray(max_len)
+    for level in range(1, max_len + 1):
+        scheme, payload = compress_column(postings.column(level).values)
+        schemes[level - 1] = 0 if scheme == "rle" else 1
+        columns.append(payload)
+
+    # Two passes: lay out offsets, then fill the preallocated buffer.
+    tables_off = _V3_PAYLOAD_HEADER.size
+    level_offs_off = tables_off
+    level_lens_off = level_offs_off + 8 * max_len
+    schemes_off = level_lens_off + 8 * max_len
+    lengths_off = _align8(schemes_off + max_len)
+    cursor = lengths_off + 8 * n_seqs
+    if score_mode == SCORES_EXACT:
+        scores_off = cursor
+        cursor += 8 * n_seqs
+    elif score_mode == SCORES_QUANTIZED:
+        scores_off = cursor
+        cursor = _align8(cursor + 2 * n_seqs)
+    elif score_mode == SCORES_NONE:
+        scores_off = 0
+    else:
+        raise ValueError(f"unknown score mode {score_mode}")
+    level_offs: List[int] = []
+    for payload in columns:
+        level_offs.append(cursor)
+        cursor = _align8(cursor + len(payload))
+
+    out = bytearray(cursor)
+    _V3_PAYLOAD_HEADER.pack_into(out, 0, n_seqs, max_len, score_mode,
+                                 lengths_off, scores_off)
+    out[level_offs_off: level_offs_off + 8 * max_len] = np.asarray(
+        level_offs, dtype=np.uint64).tobytes()
+    out[level_lens_off: level_lens_off + 8 * max_len] = np.asarray(
+        [len(p) for p in columns], dtype=np.uint64).tobytes()
+    out[schemes_off: schemes_off + max_len] = schemes
+    lengths = np.asarray(postings.lengths, dtype=np.int64).tobytes()
+    out[lengths_off: lengths_off + len(lengths)] = lengths
+    if score_mode == SCORES_EXACT:
+        raw = np.asarray(postings.scores, dtype=np.float64).tobytes()
+        out[scores_off: scores_off + len(raw)] = raw
+    elif score_mode == SCORES_QUANTIZED:
+        raw = np.asarray(np.asarray(postings.scores) * 256.0,
+                         dtype=np.uint16).tobytes()
+        out[scores_off: scores_off + len(raw)] = raw
+    for off, payload in zip(level_offs, columns):
+        out[off: off + len(payload)] = payload
+    return bytes(out)
+
+
+def serialize_columnar_index_v3(index: ColumnarIndex,
+                                score_mode: int = SCORES_EXACT,
+                                algorithm: str = None) -> bytes:
+    """Format-v3 columnar container: aligned frames, checksummed."""
+    algorithm = algorithm if algorithm is not None else DEFAULT_ALGORITHM
+    if algorithm not in ALGORITHM_IDS:
+        raise ValueError(f"unknown checksum algorithm {algorithm!r}; "
+                         f"one of {sorted(ALGORITHM_IDS)}")
+    terms = index.vocabulary
+    out = bytearray(_V3_FILE_HEADER.pack(_MAGIC_COLUMNAR_V3,
+                                         ALGORITHM_IDS[algorithm],
+                                         len(terms)))
+    for term in terms:
+        payload = serialize_columnar_postings_v3(
+            index.term_postings(term), score_mode)
+        term_bytes = term.encode("utf-8")
+        out.extend(b"\x00" * (_align8(len(out)) - len(out)))
+        out.extend(_V3_FRAME.pack(len(term_bytes), len(payload),
+                                  checksum(payload, algorithm)))
+        out.extend(term_bytes)
+        out.extend(b"\x00" * (_align8(len(out)) - len(out)))
+        out.extend(payload)
+    return bytes(out)
+
+
+def scan_v3_container(data, file: str = None
+                      ) -> Tuple[str, List[BlockRef]]:
+    """Walk a v3 container's framing without touching payloads.
+
+    `data` may be ``bytes`` or a ``memoryview`` over an mmap; nothing
+    here copies a payload.  Returns ``(algorithm_name, refs)`` with
+    each ref's offset 8-aligned into `data`.
+    """
+    if bytes(data[:4]) != _MAGIC_COLUMNAR_V3:
+        raise DatabaseFormatError(
+            f"bad magic {bytes(data[:4])!r} "
+            f"(expected {_MAGIC_COLUMNAR_V3!r})"
+            + (f" in {file}" if file else ""))
+    if len(data) < _V3_FILE_HEADER.size:
+        raise DatabaseCorruptError(
+            "container truncated inside the header", file=file)
+    _, algo_id, n_terms = _V3_FILE_HEADER.unpack_from(data, 0)
+    if algo_id not in ALGORITHM_NAMES:
+        raise DatabaseFormatError(
+            f"unknown checksum algorithm id {algo_id}"
+            + (f" in {file}" if file else ""))
+    algorithm = ALGORITHM_NAMES[algo_id]
+    refs: List[BlockRef] = []
+    try:
+        pos = _V3_FILE_HEADER.size
+        for _ in range(n_terms):
+            pos = _align8(pos)
+            if len(data) < pos + _V3_FRAME.size:
+                raise IndexError("frame runs off the end")
+            term_len, payload_len, crc = _V3_FRAME.unpack_from(data, pos)
+            pos += _V3_FRAME.size
+            if len(data) < pos + term_len:
+                raise IndexError("term runs off the end")
+            term = bytes(data[pos: pos + term_len]).decode("utf-8")
+            pos = _align8(pos + term_len)
+            if len(data) < pos + payload_len:
+                raise IndexError("payload runs off the end")
+            refs.append(BlockRef(term, pos, payload_len, crc))
+            pos += payload_len
+    except (_PARSE_ERRORS + (struct.error,)) as exc:
+        raise DatabaseCorruptError(
+            f"v3 container framing corrupt: {exc}", file=file) from exc
+    return algorithm, refs
+
+
+def parse_v3_payload(term: str, payload, file: str = None):
+    """Decode a v3 per-term payload into zero-copy column views.
+
+    `payload` is any buffer (typically a memoryview slice of an mmap).
+    Returns ``(lengths, scores, level_payloads)`` where `lengths` is an
+    ``int64`` view, `scores` a ``float64`` array (a view in EXACT mode,
+    a small dequantized copy in QUANTIZED mode, zeros in NONE mode) and
+    `level_payloads` a list of ``(scheme, uint8 view)`` pairs -- the
+    shape `LazyColumnarPostings` consumes.
+    """
+    try:
+        (n_seqs, max_len, score_mode, lengths_off,
+         scores_off) = _V3_PAYLOAD_HEADER.unpack_from(payload, 0)
+        tables = _V3_PAYLOAD_HEADER.size
+        level_offs = np.frombuffer(payload, dtype=np.uint64,
+                                   count=max_len, offset=tables)
+        level_lens = np.frombuffer(payload, dtype=np.uint64,
+                                   count=max_len,
+                                   offset=tables + 8 * max_len)
+        schemes = np.frombuffer(payload, dtype=np.uint8, count=max_len,
+                                offset=tables + 16 * max_len)
+        lengths = np.frombuffer(payload, dtype=np.int64, count=n_seqs,
+                                offset=lengths_off)
+        if score_mode == SCORES_EXACT:
+            scores = np.frombuffer(payload, dtype=np.float64,
+                                   count=n_seqs, offset=scores_off)
+        elif score_mode == SCORES_QUANTIZED:
+            raw = np.frombuffer(payload, dtype=np.uint16, count=n_seqs,
+                                offset=scores_off)
+            scores = raw.astype(np.float64) / 256.0
+        elif score_mode == SCORES_NONE:
+            scores = np.zeros(n_seqs, dtype=np.float64)
+        else:
+            raise ValueError(f"unknown score mode {score_mode}")
+        level_payloads = []
+        for level in range(max_len):
+            off = int(level_offs[level])
+            length = int(level_lens[level])
+            if off + length > len(payload):
+                raise IndexError("column runs off the payload")
+            column = np.frombuffer(payload, dtype=np.uint8, count=length,
+                                   offset=off)
+            scheme = "rle" if schemes[level] == 0 else "delta"
+            level_payloads.append((scheme, column))
+    except (_PARSE_ERRORS + (struct.error,)) as exc:
+        raise DatabaseCorruptError(
+            f"postings for term {term!r} do not parse: {exc}",
+            file=file, term=term) from exc
+    return lengths, scores, level_payloads
+
+
+def deserialize_columnar_index_v3(data, verify: bool = True,
+                                  file: str = None,
+                                  vectorized: bool = True
+                                  ) -> Dict[str, ColumnarPostings]:
+    """Eagerly load a format-v3 container (the ``lazy=False`` path).
+
+    The eager path rebuilds full `ColumnarPostings` objects, so it does
+    copy -- zero-copy loading is the lazy reader's job
+    (`repro.index.lazydisk.LazyColumnarIndex`).
+    """
+    algorithm, refs = scan_v3_container(data, file=file)
+    result: Dict[str, ColumnarPostings] = {}
+    for ref in refs:
+        payload = (verify_block(data, ref, algorithm, file=file) if verify
+                   else data[ref.offset: ref.offset + ref.length])
+        lengths, scores, level_payloads = parse_v3_payload(
+            ref.term, payload, file=file)
+        try:
+            seqs: List[List[int]] = [[] for _ in range(len(lengths))]
+            for level, (scheme, column) in enumerate(level_payloads,
+                                                     start=1):
+                values = decompress_column(scheme, column,
+                                           vectorized=vectorized)
+                cursor = 0
+                for i, length in enumerate(lengths):
+                    if length >= level:
+                        seqs[i].append(int(values[cursor]))
+                        cursor += 1
+        except _PARSE_ERRORS as exc:
+            raise DatabaseCorruptError(
+                f"postings for term {ref.term!r} do not parse: {exc}",
+                file=file, term=ref.term) from exc
+        result[ref.term] = ColumnarPostings(
+            ref.term, [tuple(s) for s in seqs],
+            [float(s) for s in scores])
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -13,6 +13,11 @@ Two algorithms, both self-describing on disk (the block framing and
 ``crc32`` otherwise, so the default save path never pays the
 pure-Python toll -- the ≤5% persistence-overhead budget holds on a bare
 CPython install while the format stays CRC32C-ready.
+
+Every function accepts any bytes-like buffer -- ``bytes``,
+``memoryview`` or a ``numpy`` byte view -- without copying, which is
+what lets the format-v3 loader verify CRCs directly against an mmap'd
+file (`repro.reliability.io.map_bytes`).
 """
 
 from __future__ import annotations
@@ -48,18 +53,30 @@ def _crc32c_pure(data: bytes, value: int = 0) -> int:
 
 
 def _native_crc32c() -> Optional[Callable[[bytes, int], int]]:
+    # Native backends may reject a memoryview; `_buffer_safe` retries
+    # with a materialized copy only in that case, so the zero-copy path
+    # stays zero-copy wherever the backend allows it.
     try:  # pragma: no cover - depends on the environment
         import crc32c as _c
 
-        return lambda data, value=0: _c.crc32c(data, value)
+        return _buffer_safe(lambda data, value=0: _c.crc32c(data, value))
     except ImportError:
         pass
     try:  # pragma: no cover - depends on the environment
         import google_crc32c as _g
 
-        return lambda data, value=0: _g.extend(value, data)
+        return _buffer_safe(lambda data, value=0: _g.extend(value, data))
     except ImportError:
         return None
+
+
+def _buffer_safe(fn: Callable[..., int]) -> Callable[..., int]:
+    def wrapped(data, value: int = 0) -> int:  # pragma: no cover - env
+        try:
+            return fn(data, value)
+        except TypeError:
+            return fn(bytes(data), value)
+    return wrapped
 
 
 _NATIVE_CRC32C = _native_crc32c()

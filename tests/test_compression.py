@@ -110,3 +110,107 @@ class TestSchemeSelection:
         values = np.asarray([1, 2, 2, 3], dtype=np.int64)
         scheme, data = cmp.compress_column(values)
         assert list(cmp.decompress_column(scheme, data)) == [1, 2, 2, 3]
+
+
+class TestVectorizedVarints:
+    """The numpy batch decoder is differentially tested against the
+    scalar reference and must agree bit-for-bit up to VARINT_MAX."""
+
+    @given(st.lists(st.integers(0, 2 ** 32), max_size=80))
+    def test_matches_scalar(self, values):
+        blob = cmp.encode_varints(values)
+        assert cmp.decode_varints_vectorized(blob).tolist() == \
+            cmp.decode_varints(blob) == values
+
+    @pytest.mark.parametrize("value", [
+        2 ** 32 - 1, 2 ** 32, 2 ** 32 + 1, 2 ** 40, 2 ** 56 - 3,
+        2 ** 63, cmp.VARINT_MAX])
+    def test_values_at_and_above_u32(self, value):
+        # The np.frombuffer fast paths assume uint64; everything up to
+        # 2**64-1 must survive both decoders exactly.
+        blob = cmp.encode_varints([1, value, 7])
+        assert cmp.decode_varints(blob) == [1, value, 7]
+        assert cmp.decode_varints_vectorized(blob).tolist() == \
+            [1, value, 7]
+
+    def test_beyond_uint64_rejected_by_both(self):
+        out = bytearray()
+        # Hand-roll a varint for 2**64: eleven bytes, exceeds the
+        # 10-byte budget outright.
+        value = 2 ** 64
+        while value >= 0x80:
+            out.append((value & 0x7F) | 0x80)
+            value >>= 7
+        out.append(value)
+        blob = bytes(out)
+        with pytest.raises(ValueError):
+            cmp.decode_varints(blob)
+        with pytest.raises(ValueError):
+            cmp.decode_varints_vectorized(blob)
+
+    def test_ten_byte_overflow_rejected(self):
+        # Ten bytes whose final byte pushes past 2**64-1: a valid
+        # *length* but an invalid *value*.
+        blob = bytes([0xFF] * 9 + [0x02])
+        with pytest.raises(ValueError):
+            cmp.decode_varints(blob)
+        with pytest.raises(ValueError):
+            cmp.decode_varints_vectorized(blob)
+
+    def test_truncated_stream_rejected_by_both(self):
+        blob = cmp.encode_varints([300])[:-1]  # continuation bit dangles
+        with pytest.raises(ValueError):
+            cmp.decode_varints(blob)
+        with pytest.raises(ValueError):
+            cmp.decode_varints_vectorized(blob)
+
+    def test_empty_stream(self):
+        assert cmp.decode_varints(b"") == []
+        assert cmp.decode_varints_vectorized(b"").tolist() == []
+
+    def test_memoryview_and_ndarray_inputs(self):
+        values = [0, 127, 128, 2 ** 21, 2 ** 40]
+        blob = cmp.encode_varints(values)
+        for view in (memoryview(blob),
+                     np.frombuffer(blob, dtype=np.uint8)):
+            assert cmp.decode_varints_vectorized(view).tolist() == values
+            assert cmp.decode_varints(view) == values
+
+
+class TestVectorizedColumnDecoders:
+    """decode_delta_blocks / decode_rle with vectorized=True must be
+    indistinguishable from the scalar loops they replace."""
+
+    @given(sorted_columns)
+    def test_delta_differential(self, values):
+        blob = cmp.encode_delta_blocks(values)
+        assert cmp.decode_delta_blocks(blob, vectorized=True).tolist() \
+            == cmp.decode_delta_blocks(blob, vectorized=False).tolist() \
+            == values
+
+    @given(sorted_columns)
+    def test_rle_differential(self, values):
+        blob = cmp.encode_rle(values)
+        assert cmp.decode_rle(blob, vectorized=True).tolist() \
+            == cmp.decode_rle(blob, vectorized=False).tolist() == values
+
+    @pytest.mark.parametrize("block_size", [1, 2, 16, 128])
+    def test_delta_block_boundaries(self, block_size):
+        values = sorted(x * 37 % 10_000 for x in range(500))
+        blob = cmp.encode_delta_blocks(values, block_size=block_size)
+        assert cmp.decode_delta_blocks(blob).tolist() == values
+
+    def test_delta_large_gaps_near_uint64(self):
+        # Per-block cumsum wraps modulo 2**64; reconstruction must
+        # still be exact for values that fit int64.
+        values = [0, 2 ** 62, 2 ** 62 + 5, 2 ** 63 - 1]
+        blob = cmp.encode_delta_blocks(values, block_size=2)
+        assert cmp.decode_delta_blocks(blob, vectorized=True).tolist() \
+            == values
+
+    def test_decompress_column_threads_flag(self):
+        values = [1, 1, 2, 3, 5, 8, 13]
+        for scheme, blob in (cmp.compress_column(values),):
+            vec = cmp.decompress_column(scheme, blob, vectorized=True)
+            ref = cmp.decompress_column(scheme, blob, vectorized=False)
+            assert vec.tolist() == ref.tolist() == values

@@ -1,0 +1,227 @@
+"""Format v3: the block-aligned, zero-copy columnar container.
+
+Three claims under test:
+
+* **Equivalence** -- a database saved as v1, v2 and v3 answers every
+  query byte-identically (results, scores, witness tuples, and the
+  section III-C ``per_level_plan``) under eager and lazy loads, clean
+  or fault-injected disks alike.
+* **Zero-copy** -- loading a v3 database never materializes the
+  columnar file as ``bytes``: the `reliability.io.COPY_STATS` seam must
+  record no copy event for the ``read-columnar`` op, and the column
+  arrays served by the lazy index must be read-only views.
+* **Integrity** -- the v2 corruption guarantees carry over: a flipped
+  payload byte surfaces as `DatabaseCorruptError` naming the keyword,
+  framing damage as a typed error, never a wrong answer.
+
+The fault matrix honors ``REPRO_FAULT_SEED`` like `test_faults`.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import XMLDatabase
+from repro.diskdb import load_database, save_database
+from repro.index import storage
+from repro.reliability import (DatabaseCorruptError, DatabaseFormatError,
+                               FaultInjector)
+from repro.reliability.io import COPY_STATS, MappedFile, map_bytes
+from tests.conftest import SMALL_XML
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+QUERIES = ["xml data", "keyword search", "data models", "xml",
+           "relational data", "top data", "search processing",
+           "keyword data xml", "title"]
+
+
+def _build_db():
+    return XMLDatabase.from_xml_text(SMALL_XML)
+
+
+@pytest.fixture(scope="module")
+def version_dirs(tmp_path_factory):
+    """One directory per on-disk format, same database."""
+    root = tmp_path_factory.mktemp("formats")
+    db = _build_db()
+    db.columnar_index
+    db.inverted_index
+    dirs = {}
+    for version in (1, 2, 3):
+        path = str(root / f"db-v{version}")
+        save_database(db, path, format_version=version)
+        dirs[version] = path
+    return dirs
+
+
+def _transcript(db):
+    """Queries + top-K + plans, exact to the last bit."""
+    out = []
+    for query in QUERIES:
+        results, stats = db.search(query, use_cache=False,
+                                   with_stats=True)
+        out.append(("search", query,
+                    [(r.node.dewey, r.level, r.score, r.witness_scores)
+                     for r in results],
+                    list(stats.per_level_plan)))
+        top = db.search_topk(query, k=3)
+        out.append(("topk", query,
+                    [(r.node.dewey, r.level, r.score, r.witness_scores)
+                     for r in top],
+                    list(top.stats.per_level_plan)))
+    return out
+
+
+class TestRoundTripMatrix:
+    def test_v1_v2_v3_answer_identically(self, version_dirs):
+        reference = _transcript(_build_db())
+        for version, path in version_dirs.items():
+            for lazy in (False, True):
+                db = load_database(path, lazy=lazy,
+                                   verify="lazy" if lazy else "eager")
+                assert _transcript(db) == reference, \
+                    f"divergence at format v{version}, lazy={lazy}"
+
+    def test_matrix_under_fault_injection(self, version_dirs):
+        """A faulty disk may fail a load with a typed error, but a
+        load that *succeeds* answers exactly like the clean one."""
+        reference = _transcript(_build_db())
+        for version, path in version_dirs.items():
+            for lazy in (False, True):
+                injector = FaultInjector(error_rate=0.05,
+                                         short_read_rate=0.05,
+                                         seed=SEED)
+                try:
+                    db = load_database(
+                        path, lazy=lazy,
+                        verify="lazy" if lazy else "eager",
+                        injector=injector)
+                except (DatabaseCorruptError, DatabaseFormatError):
+                    continue  # typed failure is an allowed outcome
+                assert _transcript(db) == reference, \
+                    (f"fault-injected v{version} lazy={lazy} diverged "
+                     f"(REPRO_FAULT_SEED={SEED})")
+
+    def test_vectorized_off_matches(self, version_dirs):
+        reference = _transcript(_build_db())
+        for lazy in (False, True):
+            db = load_database(version_dirs[3], lazy=lazy,
+                               verify="lazy" if lazy else "eager",
+                               vectorized=False)
+            assert _transcript(db) == reference
+
+
+class TestZeroCopy:
+    def test_no_columnar_copy_on_v3_load(self, version_dirs):
+        COPY_STATS.reset()
+        db = load_database(version_dirs[3], lazy=True, verify="lazy")
+        for query in QUERIES:
+            db.search(query, use_cache=False)
+        assert COPY_STATS.copies("read-columnar") == 0, \
+            COPY_STATS.events
+        # The other files still go through the copying reader.
+        assert COPY_STATS.copies("read-document") == 1
+        assert COPY_STATS.copies("read-dewey") == 1
+
+    def test_v2_load_does_copy(self, version_dirs):
+        COPY_STATS.reset()
+        load_database(version_dirs[2], lazy=True, verify="lazy")
+        assert COPY_STATS.copies("read-columnar") == 1
+
+    def test_columns_are_views_over_the_mmap(self, version_dirs):
+        db = load_database(version_dirs[3], lazy=True, verify="lazy")
+        index = db.columnar_index
+        backing = index._backing
+        assert isinstance(backing, MappedFile)
+        term = index.vocabulary[0]
+        postings = index.term_postings(term)
+        # lengths/scores materialized straight off the mapping:
+        # read-only and non-owning.
+        assert not postings.lengths.flags.owndata
+        assert not postings.lengths.flags.writeable
+        assert not postings.scores.flags.writeable
+        for scheme, payload in postings._level_payloads:
+            assert isinstance(payload, np.ndarray)
+            assert payload.dtype == np.uint8
+            assert not payload.flags.owndata
+
+    def test_injector_downgrades_map_to_copy(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"x" * 1024)
+        COPY_STATS.reset()
+        mapped = map_bytes(str(path), op="probe")
+        assert isinstance(mapped, MappedFile)
+        assert COPY_STATS.copies("probe") == 0
+        data = map_bytes(str(path), injector=FaultInjector(seed=SEED),
+                         op="probe")
+        assert isinstance(data, bytes)
+        assert COPY_STATS.copies("probe") == 1
+
+
+class TestV3Container:
+    def test_framing_is_aligned(self, version_dirs):
+        blob = open(os.path.join(version_dirs[3], "columnar.bin"),
+                    "rb").read()
+        _algorithm, refs = storage.scan_v3_container(blob)
+        assert refs, "container has terms"
+        for ref in refs:
+            # Every payload starts 8-aligned in the file, so the wider
+            # in-payload regions (int64 lengths, float64 scores) are
+            # 8-aligned absolutely -- the np.frombuffer precondition.
+            assert ref.offset % 8 == 0
+            lengths, scores, level_payloads = storage.parse_v3_payload(
+                ref.term, blob[ref.offset: ref.offset + ref.length])
+            assert len(lengths) == len(scores)
+            assert len(level_payloads) == (int(lengths.max())
+                                           if len(lengths) else 0)
+
+    def test_flipped_payload_byte_names_the_term(self, version_dirs,
+                                                 tmp_path):
+        import shutil
+
+        src = version_dirs[3]
+        dst = str(tmp_path / "corrupt")
+        shutil.copytree(src, dst)
+        columnar = os.path.join(dst, "columnar.bin")
+        blob = bytearray(open(columnar, "rb").read())
+        _algo, refs = storage.scan_v3_container(bytes(blob))
+        ref = refs[len(refs) // 2]
+        blob[ref.offset + ref.length // 2] ^= 0x40
+        open(columnar, "wb").write(bytes(blob))
+        db = load_database(dst, lazy=True, verify="lazy")
+        with pytest.raises(DatabaseCorruptError) as err:
+            for query in QUERIES:
+                db.search(query, use_cache=False)
+            # Force every term if the queries dodged the victim.
+            for term in db.columnar_index.vocabulary:
+                db.columnar_index.term_postings(term).column(1)
+        assert ref.term in str(err.value)
+
+    def test_truncated_container_is_typed(self, version_dirs):
+        blob = open(os.path.join(version_dirs[3], "columnar.bin"),
+                    "rb").read()
+        with pytest.raises(DatabaseCorruptError):
+            storage.scan_v3_container(blob[: len(blob) // 2])
+
+    def test_wrong_magic_is_format_error(self):
+        with pytest.raises(DatabaseFormatError):
+            storage.scan_v3_container(b"NOPE" + b"\x00" * 32)
+
+    def test_eager_v3_deserializer_roundtrips(self):
+        db = _build_db()
+        index = db.columnar_index
+        blob = storage.serialize_columnar_index_v3(
+            index, score_mode=storage.SCORES_EXACT)
+        loaded = storage.deserialize_columnar_index_v3(blob)
+        assert sorted(loaded) == index.vocabulary
+        for term, postings in loaded.items():
+            original = index.term_postings(term)
+            assert postings.seqs == original.seqs
+            assert np.allclose(postings.scores, original.scores)
+
+    def test_save_rejects_unknown_version(self, tmp_path):
+        db = _build_db()
+        with pytest.raises(ValueError):
+            save_database(db, str(tmp_path / "nope"), format_version=9)

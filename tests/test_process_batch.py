@@ -1,0 +1,172 @@
+"""Multi-process `search_batch`: equivalence, pooling, gauge hygiene.
+
+The fork-based process pool must be an *implementation detail*: same
+results, same merged stats, same metrics totals as the in-process run,
+with batch error isolation intact, on any executor shape (owned pool,
+reused pool from `batch_executor`).  The queue-depth gauge returns to
+zero after every run -- thread, process, or failing.
+"""
+
+import pytest
+
+from repro import XMLDatabase
+from repro.algorithms.base import ExecutionStats
+from repro.obs import MetricsRegistry
+from tests.conftest import SMALL_XML
+
+QUERIES = ["xml data", "keyword search", "data models",
+           "relational data", "search processing", "keyword data xml"]
+
+
+def fingerprint(batch):
+    out = []
+    for entry in batch:
+        if entry is None:
+            out.append(None)
+        else:
+            out.append([(r.node.dewey, r.level, r.score,
+                         tuple(r.witness_scores)) for r in entry])
+    return out
+
+
+def make_db():
+    db = XMLDatabase.from_xml_text(SMALL_XML,
+                                   metrics=MetricsRegistry())
+    db.columnar_index
+    db.inverted_index
+    return db
+
+
+class TestEquivalence:
+    def test_results_match_inline_run(self):
+        db = make_db()
+        inline = db.search_batch(QUERIES, use_cache=False)
+        for n in (2, 4):
+            procs = db.search_batch(QUERIES, processes=n,
+                                    use_cache=False)
+            assert procs.ok
+            assert fingerprint(procs) == fingerprint(inline)
+
+    def test_topk_results_match(self):
+        db = make_db()
+        inline = db.search_batch(QUERIES, k=3, use_cache=False)
+        procs = db.search_batch(QUERIES, k=3, processes=2,
+                                use_cache=False)
+        assert fingerprint(procs) == fingerprint(inline)
+
+    def test_summary_and_metrics_match_inline_run(self):
+        def counters(processes):
+            db = make_db()
+            batch = db.search_batch(QUERIES, processes=processes,
+                                    use_cache=False, with_stats=True)
+            snap = db.metrics.snapshot()
+            stats = batch.summary
+            return ({field: getattr(stats, field)
+                     for field in ExecutionStats._COUNTER_FIELDS},
+                    {k: v for k, v in snap["counters"].items()
+                     if "queries_total" in k or "level_joins" in k
+                     or "batch" in k},
+                    snap["histograms"][
+                        'repro_query_latency_ms{op="batch"}']["count"])
+
+        inline_stats, inline_counters, inline_latencies = counters(None)
+        proc_stats, proc_counters, proc_latencies = counters(2)
+        assert proc_stats == inline_stats
+        assert proc_counters == inline_counters
+        assert proc_latencies == inline_latencies == len(QUERIES)
+
+    def test_per_level_plan_merges(self):
+        db = make_db()
+        batch = db.search_batch(QUERIES, processes=2, use_cache=False,
+                                with_stats=True)
+        inline = db.search_batch(QUERIES, use_cache=False,
+                                 with_stats=True)
+        assert sorted(batch.summary.per_level_plan) == \
+            sorted(inline.summary.per_level_plan)
+
+    def test_parent_cache_warms_from_workers(self):
+        db = make_db()
+        db.search_batch(QUERIES, processes=2)
+        followup = db.search_batch(QUERIES, with_stats=True)
+        assert followup.summary.cache_hits == len(QUERIES)
+
+
+class TestExecutorReuse:
+    def test_thread_executor_reused_and_gauge_zero(self):
+        db = make_db()
+        gauge = db.metrics.gauge("repro_batch_queue_depth")
+        pool = db.batch_executor(threads=2)
+        try:
+            a = db.search_batch(QUERIES, executor=pool)
+            b = db.search_batch(QUERIES, executor=pool)
+        finally:
+            pool.shutdown()
+        assert a.ok and b.ok
+        assert gauge.value == 0
+
+    def test_process_executor_reused_and_gauge_zero(self):
+        db = make_db()
+        gauge = db.metrics.gauge("repro_batch_queue_depth")
+        inline = db.search_batch(QUERIES, use_cache=False)
+        pool = db.batch_executor(processes=2)
+        try:
+            a = db.search_batch(QUERIES, executor=pool,
+                                use_cache=False)
+            b = db.search_batch(QUERIES, executor=pool,
+                                use_cache=False)
+        finally:
+            pool.shutdown()
+        assert fingerprint(a) == fingerprint(b) == fingerprint(inline)
+        assert gauge.value == 0
+
+    def test_foreign_process_executor_rejected(self):
+        db = make_db()
+        other = make_db()
+        pool = other.batch_executor(processes=2)
+        try:
+            with pytest.raises(ValueError):
+                db.search_batch(QUERIES, executor=pool)
+        finally:
+            pool.shutdown()
+        assert db.metrics.gauge("repro_batch_queue_depth").value == 0
+
+    def test_executor_and_width_are_exclusive(self):
+        db = make_db()
+        pool = db.batch_executor(threads=2)
+        try:
+            with pytest.raises(ValueError):
+                db.search_batch(QUERIES, executor=pool, threads=2)
+            with pytest.raises(ValueError):
+                db.search_batch(QUERIES, threads=2, processes=2)
+        finally:
+            pool.shutdown()
+
+    def test_batch_executor_requires_exactly_one_width(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.batch_executor()
+        with pytest.raises(ValueError):
+            db.batch_executor(threads=2, processes=2)
+
+
+class TestErrorIsolation:
+    def test_failing_query_is_isolated(self):
+        db = make_db()
+        queries = ["xml data", "qqqzzz absent term", "keyword search"]
+        batch = db.search_batch(queries, processes=2, use_cache=False,
+                                algorithm="join")
+        assert batch.ok
+        bad = db.search_batch(queries, processes=2, use_cache=False,
+                              algorithm="no-such-algorithm")
+        assert not bad.ok
+        assert sorted(bad.errors) == [0, 1, 2]
+        assert all(entry is None for entry in bad)
+        assert db.metrics.gauge("repro_batch_queue_depth").value == 0
+
+    def test_raise_on_error_propagates_and_gauge_recovers(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.search_batch(QUERIES, processes=2, use_cache=False,
+                            algorithm="no-such-algorithm",
+                            raise_on_error=True)
+        assert db.metrics.gauge("repro_batch_queue_depth").value == 0
