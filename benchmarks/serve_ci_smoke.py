@@ -1,0 +1,154 @@
+"""CI smoke for the `repro serve` daemon (the `serve` workflow job).
+
+Builds a sharded index via the CLI, starts the real daemon process,
+fires a mixed concurrent workload (cold + warm + overloaded + bad
+requests) from threaded HTTP clients, then scrapes ``/metrics`` and
+asserts the serving invariants:
+
+* admission / deadline / fan-out instruments are all present,
+* the workload produced requests and at least one cache-driven rerun,
+* queue-depth and inflight gauges returned to 0.
+
+Exits non-zero (with the offending metric text) on any violation::
+
+    PYTHONPATH=src python benchmarks/serve_ci_smoke.py
+"""
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+HOST = "127.0.0.1"
+PORT = int(os.environ.get("REPRO_SERVE_SMOKE_PORT", "18473"))
+QUERIES = ["w00000 w00001", "author00000", "w00002 w00000",
+           "w00001 author00001", "w00003"]
+
+
+def wait_healthy(timeout_s: float = 30.0) -> None:
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        try:
+            with urllib.request.urlopen(
+                    f"http://{HOST}:{PORT}/healthz", timeout=2) as resp:
+                body = json.loads(resp.read())
+                assert body["status"] == "ok", body
+                return
+        except (OSError, ValueError):
+            time.sleep(0.2)
+    raise SystemExit("daemon never became healthy")
+
+
+def fire_workload() -> dict:
+    statuses = []
+    lock = threading.Lock()
+
+    def client(worker: int) -> None:
+        conn = http.client.HTTPConnection(HOST, PORT, timeout=30)
+        local = []
+        try:
+            for round_no in range(3):
+                for i, q in enumerate(QUERIES):
+                    path = f"/topk?q={q.replace(' ', '+')}&k=5"
+                    if (worker + i) % 4 == 0:     # some complete sets
+                        path = f"/search?q={q.replace(' ', '+')}"
+                    if round_no == 2 and i == 0:  # some budgeted
+                        path += "&timeout_ms=1&partial=1"
+                    conn.request("GET", path)
+                    resp = conn.getresponse()
+                    resp.read()
+                    local.append(resp.status)
+        finally:
+            conn.close()
+        with lock:
+            statuses.extend(local)
+
+    threads = [threading.Thread(target=client, args=(w,))
+               for w in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    # a malformed request must come back typed, not crash the daemon
+    try:
+        urllib.request.urlopen(f"http://{HOST}:{PORT}/topk?k=5", timeout=5)
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 400, exc.code
+    else:
+        raise AssertionError("missing q should be a 400")
+    return {"statuses": statuses}
+
+
+def scrape_metrics() -> str:
+    with urllib.request.urlopen(
+            f"http://{HOST}:{PORT}/metrics", timeout=5) as resp:
+        return resp.read().decode("utf-8")
+
+
+def gauge_value(text: str, name: str) -> float:
+    match = re.search(rf"^{name} ([0-9.eE+-]+)$", text, re.M)
+    assert match, f"{name} missing from /metrics"
+    return float(match.group(1))
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    with tempfile.TemporaryDirectory(prefix="repro-serve-ci-") as tmp:
+        db_dir = os.path.join(tmp, "db")
+        subprocess.run(
+            [sys.executable, "-m", "repro", "generate", "dblp", db_dir,
+             "--papers", "500", "--shards", "4"],
+            env=env, check=True, timeout=300)
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", db_dir,
+             "--port", str(PORT), "--workers", "0",
+             "--max-concurrency", "4", "--queue-limit", "16"],
+            env=env)
+        try:
+            wait_healthy()
+            outcome = fire_workload()
+            text = scrape_metrics()
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=30)
+
+    statuses = outcome["statuses"]
+    assert statuses, "workload produced no responses"
+    bad = [s for s in statuses if s not in (200, 429, 504)]
+    assert not bad, f"untyped statuses under load: {bad}"
+    assert statuses.count(200) > 0
+
+    # admission / deadline / fan-out instruments present
+    for needle in (
+            'repro_serve_requests_total{outcome="ok"}',
+            'repro_serve_rejects_total{reason="queue_full"}',
+            'repro_serve_rejects_total{reason="deadline"}',
+            'repro_serve_shard_ms_count{shard="0"}',
+            'repro_serve_shard_ms_count{shard="3"}',
+            "repro_serve_queue_wait_ms_count",
+            "repro_serve_latency_ms_count"):
+        assert needle in text, f"{needle} missing from /metrics"
+    ok = re.search(
+        r'repro_serve_requests_total\{outcome="ok"\} ([0-9.]+)', text)
+    assert ok and float(ok.group(1)) > 0, "no successful requests counted"
+
+    # the queue drained: depth and inflight gauges are back to zero
+    assert gauge_value(text, "repro_serve_queue_depth") == 0.0
+    assert gauge_value(text, "repro_serve_inflight") == 0.0
+
+    print(f"serve smoke ok: {len(statuses)} responses "
+          f"({statuses.count(200)} ok, {statuses.count(429)} shed, "
+          f"{statuses.count(504)} deadline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

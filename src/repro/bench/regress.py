@@ -57,6 +57,11 @@ GUARDED_OPS = (
     "decompress_column_vectorized",
     "query_uncached",
     "query_cached",
+    # The serve bench (BENCH_serve.json) appends under its own scale
+    # label, so these build a separate trajectory from the hot-path ops
+    # above and the two series can never fail each other's checks.
+    "serve_daemon_topk",
+    "serve_baseline_topk",
 )
 
 
@@ -192,6 +197,11 @@ class RegressionReport:
     threshold: float
     deltas: List[OpDelta] = field(default_factory=list)
     reason: Optional[str] = None   # why nothing was checked
+    # Guarded ops that could not be compared, each with why.  A newly
+    # added guarded op has no comparable baseline on its first run;
+    # reporting that explicitly (instead of silently dropping the op)
+    # is what keeps "PASS" honest about its coverage.
+    skipped: List[Tuple[str, str]] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[OpDelta]:
@@ -209,6 +219,11 @@ class RegressionReport:
         for delta in self.deltas:
             marker = "  !! " if delta.delta > self.threshold else "     "
             lines.append(marker + delta.format())
+        for op, why in self.skipped:
+            lines.append(f"     -- {op}: not checked ({why})")
+        if not self.deltas and self.skipped:
+            lines[0] = (f"regress: PASS (nothing comparable: all "
+                        f"{len(self.skipped)} guarded ops skipped)")
         return "\n".join(lines)
 
 
@@ -235,10 +250,15 @@ def check(history: List[Dict[str, Any]],
     for op in ops:
         latest_p50 = _op_p50(latest, op)
         if latest_p50 is None:
+            report.skipped.append(
+                (op, "not measured by the latest entry"))
             continue
         baseline = [p50 for p50 in (_op_p50(entry, op) for entry in tail)
                     if p50 is not None]
         if not baseline:
+            report.skipped.append(
+                (op, "no comparable prior run measures it yet -- "
+                     "this entry seeds its series"))
             continue
         report.deltas.append(OpDelta(op=op, latest_ms=latest_p50,
                                      baseline_ms=_median(baseline),

@@ -1,0 +1,439 @@
+"""Sustained-qps / tail-latency benchmark for `repro serve`: writes
+``BENCH_serve.json``.
+
+What is measured
+----------------
+The deployment question the daemon answers is *amortization*: the
+paper's top-K machinery only pays off when queries hit a long-lived
+service instead of a cold process per workload.  So the baseline is
+exactly that cold path -- ``repro serve-batch`` as a fresh
+single-process CLI invocation (interpreter start + database load +
+inline evaluation, repeated per round), which is how the repo served
+workloads before this PR.  Against it, the daemon grid: >= 2 shard
+counts x >= 2 worker counts, each driven over HTTP by closed-loop
+client threads at rising offered load (1, 2, 4 concurrent clients)
+with a mixed cold/warm workload (first round is all misses, later
+rounds hit the daemon's result cache the way steady-state serving
+does).  Client-observed latency gives p50/p95/p99 per cell; sustained
+qps is the best plateau of the load ladder.
+
+An overload section drives offered load past capacity against a
+deliberately tiny daemon (``max_concurrency=2``, short queue, firm
+deadline) and records the shed: typed 429/504 counts, and the p99 of
+*accepted* queries, which must stay within the configured deadline.
+
+Schema (``repro.bench.serve/v1``)::
+
+    {
+      "schema": "repro.bench.serve/v1",
+      "config": {"scale", "n_papers", "shard_counts", "worker_counts",
+                 "client_ladder", "rounds", "k", "seed"},
+      "workload": {"queries": [...], "semantics": "elca",
+                   "distinct": int, "requests_per_round": int},
+      "baseline": {"mode": "cold-process serve-batch", "qps": float,
+                   "rounds": int, "wall_ms_per_round": [...],
+                   "inproc_p50_ms", "inproc_p95_ms", "inproc_p99_ms"},
+      "grid": [{"shards", "workers", "clients_best", "qps",
+                "p50_ms", "p95_ms", "p99_ms", "requests",
+                "ladder": {"<clients>": qps}}],
+      "speedups": {"daemon_s<N>_vs_baseline": float},
+      "overload": {"offered", "accepted", "rejected_queue_full",
+                   "rejected_deadline", "deadline_ms",
+                   "p99_accepted_ms", "queue_depth_after"},
+      "ops": {"serve_daemon_topk": {...}, "serve_baseline_topk": {...}}
+    }
+
+``ops`` carries the two guarded p50s the perf-regression series tracks
+(`repro regress`); the ``scale`` label keeps this series separate from
+the hot-path one.  ``--smoke`` shrinks everything for CI and asserts
+the admission/fan-out metrics the smoke job scrapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api import XMLDatabase
+from ..datagen import DBLPGenerator, PlantedTerm, PlantingPlan
+from ..obs.metrics import MetricsRegistry
+from ..serve import ServeDaemon, ShardedDatabase
+
+SCHEMA = "repro.bench.serve/v1"
+DEFAULT_OUT = "BENCH_serve.json"
+SEED = 13
+
+
+def _percentiles(samples: Sequence[float]) -> Dict[str, float]:
+    arr = np.asarray(list(samples), dtype=np.float64)
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+    }
+
+
+def build_corpus(n_papers: int, seed: int = SEED) -> XMLDatabase:
+    """DBLP-like corpus with one broad anchor term, one mid-frequency
+    term and a pool of rare terms: the pairs below give the workload
+    both cheap (rare-driven) and postings-heavy (anchor-driven)
+    queries."""
+    plan = PlantingPlan(planted=[
+        PlantedTerm("anchor", max(50, n_papers // 2), tf_range=(1, 3)),
+        PlantedTerm("mid", max(20, n_papers // 8), tf_range=(1, 2)),
+    ] + [PlantedTerm(f"srv{i:02d}", 2) for i in range(8)])
+    tree = DBLPGenerator(seed=seed, n_papers=n_papers,
+                         plan=plan).generate()
+    db = XMLDatabase.from_tree(tree)
+    db.columnar_index
+    db.inverted_index
+    return db
+
+
+def build_workload(distinct: int = 12) -> List[str]:
+    """Distinct queries, mixed selectivity; reused across rounds so
+    round one is cold and the rest exercise the warm path."""
+    pool = ([f"srv{i:02d} anchor" for i in range(8)]
+            + ["mid anchor", "anchor", "mid", "srv00 mid"])
+    return pool[:distinct]
+
+
+# ---------------------------------------------------------------------------
+# daemon harness (same pattern as tests/test_serve_daemon.py)
+# ---------------------------------------------------------------------------
+
+class _DaemonRunner:
+    def __init__(self, db, **kwargs):
+        kwargs.setdefault("port", 0)
+        self.metrics = kwargs.setdefault("metrics", MetricsRegistry())
+        self.daemon = ServeDaemon(db, **kwargs)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.daemon.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    def __enter__(self):
+        self.thread.start()
+        if not self._ready.wait(30):
+            raise RuntimeError("daemon failed to start")
+        return self
+
+    def __exit__(self, *exc):
+        asyncio.run_coroutine_threadsafe(self.daemon.stop(),
+                                         self.loop).result(30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(30)
+        self.loop.close()
+
+
+def _drive(port: int, queries: List[str], rounds: int, clients: int,
+           k: int, extra: str = "") -> Tuple[List[float], List[int], float]:
+    """Closed-loop client threads; each issues its slice of the
+    workload `rounds` times over one keep-alive connection.  Returns
+    (latencies_ms, statuses, wall_s)."""
+    requests: List[str] = []
+    for r in range(rounds):
+        for i, q in enumerate(queries):
+            requests.append(
+                f"/topk?q={q.replace(' ', '+')}&k={k}{extra}")
+    latencies: List[float] = []
+    statuses: List[int] = []
+    lock = threading.Lock()
+
+    def worker(worker_id: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        local_lat, local_status = [], []
+        try:
+            for idx in range(worker_id, len(requests), clients):
+                start = time.perf_counter()
+                conn.request("GET", requests[idx])
+                resp = conn.getresponse()
+                resp.read()
+                local_lat.append(
+                    (time.perf_counter() - start) * 1000.0)
+                local_status.append(resp.status)
+        finally:
+            conn.close()
+        with lock:
+            latencies.extend(local_lat)
+            statuses.extend(local_status)
+
+    threads = [threading.Thread(target=worker, args=(w,))
+               for w in range(clients)]
+    wall = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall
+    return latencies, statuses, wall
+
+
+# ---------------------------------------------------------------------------
+# baseline: cold-process serve-batch
+# ---------------------------------------------------------------------------
+
+def run_baseline(db_dir: str, workload_path: str, queries: List[str],
+                 rounds: int, k: int) -> Dict[str, object]:
+    """The pre-daemon serving path: one fresh `repro serve-batch`
+    process per round (interpreter start + database load + inline
+    evaluation), plus an in-process pass for per-query percentiles
+    (which flatters the baseline -- it pays no startup)."""
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    walls: List[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve-batch", db_dir,
+             workload_path, "-k", str(k), "--quiet"],
+            env=env, capture_output=True, text=True, timeout=600)
+        walls.append((time.perf_counter() - start) * 1000.0)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"baseline serve-batch failed: {proc.stderr[-500:]}")
+    from ..diskdb import load_database
+
+    inproc = load_database(db_dir)
+    batch = inproc.search_batch(queries, k=k)
+    pct = _percentiles(batch.latencies_ms)
+    total_queries = rounds * len(queries)
+    qps = total_queries / (sum(walls) / 1000.0)
+    return {
+        "mode": "cold-process serve-batch",
+        "qps": qps,
+        "rounds": rounds,
+        "wall_ms_per_round": walls,
+        "inproc_p50_ms": pct["p50_ms"],
+        "inproc_p95_ms": pct["p95_ms"],
+        "inproc_p99_ms": pct["p99_ms"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# the grid and the overload probe
+# ---------------------------------------------------------------------------
+
+def run_grid_cell(db: XMLDatabase, shards: int, workers: int,
+                  queries: List[str], rounds: int, k: int,
+                  ladder: Sequence[int]) -> Dict[str, object]:
+    sharded = ShardedDatabase.from_database(db, shards)
+    with _DaemonRunner(sharded, workers=workers,
+                       max_concurrency=8, queue_limit=64) as runner:
+        ladder_qps: Dict[str, float] = {}
+        best = None
+        for clients in ladder:
+            lat, statuses, wall = _drive(runner.daemon.port, queries,
+                                         rounds, clients, k)
+            assert all(s == 200 for s in statuses), statuses[:5]
+            qps = len(lat) / wall
+            ladder_qps[str(clients)] = qps
+            if best is None or qps > best[0]:
+                best = (qps, clients, lat)
+        depth = runner.metrics.gauge("repro_serve_queue_depth").value
+    qps, clients_best, lat = best
+    cell = {"shards": shards, "workers": workers,
+            "clients_best": clients_best, "qps": qps,
+            "requests": len(lat), "ladder": ladder_qps,
+            "queue_depth_after": depth}
+    cell.update(_percentiles(lat))
+    return cell
+
+
+def run_overload(db: XMLDatabase, queries: List[str], k: int,
+                 deadline_ms: float = 400.0) -> Dict[str, object]:
+    """Offered load far beyond capacity on a deliberately small daemon:
+    uncached (cache size 0), two slots, a three-deep queue.  The
+    daemon must shed with typed rejections and keep accepted-query p99
+    within the configured deadline."""
+    sharded = ShardedDatabase.from_database(db, 4)
+    with _DaemonRunner(sharded, workers=0, max_concurrency=2,
+                       queue_limit=3, result_cache_size=0,
+                       default_timeout_ms=deadline_ms) as runner:
+        lat, statuses, _wall = _drive(
+            runner.daemon.port, queries, rounds=4, clients=12, k=k)
+        reg = runner.metrics
+        shed_429 = reg.counter("repro_serve_rejects_total",
+                               {"reason": "queue_full"}).value
+        shed_504 = reg.counter("repro_serve_rejects_total",
+                               {"reason": "deadline"}).value
+        depth = reg.gauge("repro_serve_queue_depth").value
+    accepted = [l for l, s in zip(lat, statuses) if s == 200]
+    rejected = [s for s in statuses if s in (429, 504)]
+    assert len(accepted) + len(rejected) == len(statuses), \
+        "untyped response under overload"
+    out = {
+        "offered": len(statuses),
+        "accepted": len(accepted),
+        "rejected_queue_full": int(shed_429),
+        "rejected_deadline": int(shed_504),
+        "deadline_ms": deadline_ms,
+        "queue_depth_after": depth,
+    }
+    if accepted:
+        out["p99_accepted_ms"] = _percentiles(accepted)["p99_ms"]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def run(out: str = DEFAULT_OUT, smoke: bool = False,
+        n_papers: Optional[int] = None,
+        shard_counts: Optional[Sequence[int]] = None,
+        worker_counts: Optional[Sequence[int]] = None,
+        rounds: Optional[int] = None) -> Dict[str, object]:
+    n_papers = n_papers or (600 if smoke else 2400)
+    shard_counts = list(shard_counts or ([2] if smoke else [2, 4]))
+    worker_counts = list(worker_counts or ([0] if smoke else [0, 1]))
+    rounds = rounds or (2 if smoke else 4)
+    ladder = [2] if smoke else [1, 2, 4]
+    k = 10
+    baseline_rounds = 1 if smoke else 3
+
+    print(f"corpus: dblp n_papers={n_papers} seed={SEED}", flush=True)
+    db = build_corpus(n_papers)
+    queries = build_workload()
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        db_dir = os.path.join(tmp, "db")
+        db.save(db_dir, format_version=3)
+        workload_path = os.path.join(tmp, "workload.txt")
+        with open(workload_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(queries) + "\n")
+        print("baseline: cold-process serve-batch ...", flush=True)
+        baseline = run_baseline(db_dir, workload_path, queries,
+                                baseline_rounds, k)
+        print(f"  {baseline['qps']:.1f} qps "
+              f"(p50 inproc {baseline['inproc_p50_ms']:.2f} ms)",
+              flush=True)
+
+    grid: List[Dict[str, object]] = []
+    for shards in shard_counts:
+        for workers in worker_counts:
+            print(f"daemon: shards={shards} workers={workers} ...",
+                  flush=True)
+            cell = run_grid_cell(db, shards, workers, queries, rounds,
+                                 k, ladder)
+            print(f"  {cell['qps']:.1f} qps @ {cell['clients_best']} "
+                  f"clients (p99 {cell['p99_ms']:.2f} ms)", flush=True)
+            grid.append(cell)
+
+    print("overload: 12 clients vs 2 slots ...", flush=True)
+    overload = run_overload(db, queries, k)
+    print(f"  accepted {overload['accepted']}/{overload['offered']}, "
+          f"429={overload['rejected_queue_full']} "
+          f"504={overload['rejected_deadline']}", flush=True)
+
+    speedups = {}
+    for shards in shard_counts:
+        best = max((c["qps"] for c in grid if c["shards"] == shards),
+                   default=0.0)
+        speedups[f"daemon_s{shards}_vs_baseline"] = \
+            best / baseline["qps"] if baseline["qps"] else 0.0
+    best_cell = max(grid, key=lambda c: c["qps"])
+    report = {
+        "schema": SCHEMA,
+        "config": {
+            "scale": "serve-smoke" if smoke else "serve-small",
+            "n_papers": n_papers,
+            "seed": SEED,
+            "shard_counts": shard_counts,
+            "worker_counts": worker_counts,
+            "client_ladder": ladder,
+            "rounds": rounds,
+            "k": k,
+        },
+        "workload": {
+            "queries": [q.split() for q in queries],
+            "semantics": "elca",
+            "distinct": len(queries),
+            "requests_per_round": len(queries),
+        },
+        "baseline": baseline,
+        "grid": grid,
+        "speedups": speedups,
+        "overload": overload,
+        # the guarded series for `repro regress` -- per-request p50s
+        "ops": {
+            "serve_daemon_topk": {
+                "p50_ms": best_cell["p50_ms"],
+                "p95_ms": best_cell["p95_ms"],
+                "repeats": best_cell["requests"],
+            },
+            "serve_baseline_topk": {
+                "p50_ms": baseline["inproc_p50_ms"],
+                "p95_ms": baseline["inproc_p95_ms"],
+                "repeats": len(queries),
+            },
+        },
+    }
+    if smoke:
+        _assert_smoke_invariants(report)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {out}", flush=True)
+    return report
+
+
+def _assert_smoke_invariants(report: Dict[str, object]) -> None:
+    """What the CI smoke job keys off: the daemon shed under overload
+    with typed rejections, nothing was left queued, and the report has
+    the guarded ops the regress series tracks."""
+    overload = report["overload"]
+    assert overload["rejected_queue_full"] + \
+        overload["rejected_deadline"] > 0, "overload did not shed"
+    assert overload["queue_depth_after"] == 0, "queue did not drain"
+    for cell in report["grid"]:
+        assert cell["queue_depth_after"] == 0
+    assert "serve_daemon_topk" in report["ops"]
+    if "p99_accepted_ms" in overload:
+        assert overload["p99_accepted_ms"] <= \
+            overload["deadline_ms"] * 1.5 + 100.0, \
+            "accepted p99 breached the deadline budget"
+    print("smoke invariants ok", flush=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.serve",
+        description="sustained-qps/p99 benchmark for repro serve "
+                    "(BENCH_serve.json)")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: small corpus, one grid cell, "
+                             "asserts the smoke invariants")
+    parser.add_argument("--papers", type=int, default=None)
+    parser.add_argument("--shards", type=int, nargs="+", default=None)
+    parser.add_argument("--workers", type=int, nargs="+", default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    args = parser.parse_args(argv)
+    run(out=args.out, smoke=args.smoke, n_papers=args.papers,
+        shard_counts=args.shards, worker_counts=args.workers,
+        rounds=args.rounds)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,6 +87,18 @@ class LRUCache:
             self._data.clear()
             self.stats = CacheStats()
 
+    def remove(self, key: Hashable) -> bool:
+        """Drop one entry if present.  Not counted as an eviction --
+        evictions measure capacity pressure, and explicit invalidation
+        is a correctness action, not pressure."""
+        with self._lock:
+            return self._data.pop(key, _MISSING) is not _MISSING
+
+    def keys(self) -> List[Hashable]:
+        """Snapshot of the current keys (LRU order, oldest first)."""
+        with self._lock:
+            return list(self._data.keys())
+
 
 ResultKey = Tuple[Tuple[str, ...], str, str, Optional[int]]
 
@@ -197,8 +209,31 @@ class QueryCache:
         self.results.put(key, list(results))
 
     def clear(self) -> None:
+        """Drop both caches and restart their local stats.
+
+        Metric consistency contract: the process-wide
+        ``repro_cache_requests_total`` counters are *monotone* and keep
+        counting across a clear (Prometheus counters never go down);
+        the ``repro_cache_hit_ratio`` gauges are derived through
+        `set_fn` hooks that read the live `CacheStats` at snapshot
+        time, so they restart from 0 with the fresh stats instead of
+        reporting the dead cache's ratio forever.
+        """
         self.postings.clear()
         self.results.clear()
+
+    def invalidate(self, term: str) -> int:
+        """Drop everything derived from `term`: its postings entry and
+        every cached result whose query used it.  Returns the number of
+        entries dropped.  The daemon's index-reload hook: when one
+        term's postings change, unrelated cached results survive.
+        """
+        dropped = 1 if self.postings.remove(term) else 0
+        for key in self.results.keys():
+            terms = key[0] if isinstance(key, tuple) and key else ()
+            if term in terms:
+                dropped += 1 if self.results.remove(key) else 0
+        return dropped
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         return {"postings": self.postings.stats.as_dict(),

@@ -7,6 +7,8 @@
     python -m repro search mydb/ "xml data" --semantics slca
     python -m repro topk mydb/ "xml keyword search" -k 10
     python -m repro serve-batch mydb/ queries.txt --processes 4 -k 10
+    python -m repro index bib.xml mydb/ --shards 4   # sharded store
+    python -m repro serve mydb/ --workers 2          # HTTP daemon
     python -m repro info mydb/
     python -m repro trace mydb/ "xml data" --out trace.jsonl
     python -m repro audit mydb/ "xml data" --shadow sampled
@@ -112,6 +114,12 @@ def cmd_index(args: argparse.Namespace) -> int:
     db = XMLDatabase.from_tree(parse_xml_file(args.xml_file))
     db.columnar_index
     db.inverted_index
+    if args.shards:
+        db.save(args.output, shards=args.shards)
+        print(f"indexed {len(db)} nodes "
+              f"({len(db.inverted_index.vocabulary)} terms) -> "
+              f"{args.output} ({args.shards} shards, format v3)")
+        return 0
     db.save(args.output, format_version=args.format_version)
     print(f"indexed {len(db)} nodes "
           f"({len(db.inverted_index.vocabulary)} terms) -> {args.output} "
@@ -127,6 +135,11 @@ def cmd_generate(args: argparse.Namespace) -> int:
         db = XMLDatabase.generate_xmark(seed=args.seed, scale=args.scale)
     db.columnar_index
     db.inverted_index
+    if args.shards:
+        db.save(args.output, shards=args.shards)
+        print(f"generated {args.corpus}: {len(db)} nodes -> {args.output} "
+              f"({args.shards} shards, format v3)")
+        return 0
     db.save(args.output, format_version=args.format_version)
     print(f"generated {args.corpus}: {len(db)} nodes -> {args.output} "
           f"(format v{args.format_version})")
@@ -184,11 +197,61 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     print(f"work: levels={s.levels_processed} joins={s.joins} "
           f"tuples={s.tuples_scanned} cache_hits={s.cache_hits} "
           f"cache_misses={s.cache_misses}")
+    # Exit-code consistency across verbs: `search`/`topk` map an
+    # exceeded budget to EXIT_DEADLINE via the raised exception; batch
+    # isolation catches those per query, so surface them here.
+    if any(isinstance(exc, DeadlineExceeded)
+           for exc in batch.errors.values()):
+        return EXIT_DEADLINE
     return 1 if (batch.errors and args.fail_on_error) else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived scatter-gather query daemon.
+
+    A directory saved with ``--shards`` loads straight into a
+    `ShardedDatabase`; an unsharded database (or raw XML file) is
+    re-partitioned in memory when ``--shards`` is given, else served
+    as a single shard.
+    """
+    from .serve import ShardedDatabase, serve
+
+    if os.path.isdir(args.database):
+        from .diskdb import load_database
+
+        db = load_database(args.database, lazy=not args.eager,
+                           verify="eager" if args.eager else "lazy")
+    else:
+        db = _load(args.database)
+    if isinstance(db, ShardedDatabase):
+        if args.shards and args.shards != db.n_shards:
+            print(f"error: database is saved with {db.n_shards} shards; "
+                  f"re-shard with `repro index --shards {args.shards}`",
+                  file=sys.stderr)
+            return 1
+    else:
+        db = ShardedDatabase.from_database(db, args.shards or 1)
+    serve(db, host=args.host, port=args.port, workers=args.workers,
+          max_concurrency=args.max_concurrency,
+          queue_limit=args.queue_limit,
+          default_timeout_ms=args.timeout_ms,
+          default_partial=args.partial,
+          result_cache_size=args.result_cache_size)
+    return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
     db = _load(args.database)
+    from .serve import ShardedDatabase
+
+    if isinstance(db, ShardedDatabase):
+        print(f"nodes:       {len(db)}")
+        print(f"shards:      {db.n_shards} (strategy: "
+              f"{(db.manifest or {}).get('strategy', 'root-child-mod')})")
+        for sid, shard in enumerate(db.shards):
+            vocab = len(shard.columnar_index.vocabulary)
+            print(f"  shard {sid:>2}:  {vocab} terms")
+        return 0
     inv = db.inverted_index
     print(f"nodes:       {len(db)}")
     print(f"depth:       {db.tree.depth}")
@@ -377,6 +440,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="on-disk format: 2 = blocked+checksummed "
                         "(default), 3 = block-aligned zero-copy mmap, "
                         "1 = legacy bare blobs")
+    p.add_argument("--shards", type=int, default=None,
+                   help="partition the index into N subtree-affine "
+                        "shards (forces format v3; see docs/SERVING.md)")
     p.set_defaults(fn=cmd_index)
 
     p = sub.add_parser("generate",
@@ -393,6 +459,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="on-disk format: 2 = blocked+checksummed "
                         "(default), 3 = block-aligned zero-copy mmap, "
                         "1 = legacy bare blobs")
+    p.add_argument("--shards", type=int, default=None,
+                   help="partition the index into N subtree-affine "
+                        "shards (forces format v3; see docs/SERVING.md)")
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("serve-batch",
@@ -426,6 +495,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-on-error", action="store_true",
                    help="exit 1 if any query in the batch failed")
     p.set_defaults(fn=cmd_serve_batch)
+
+    p = sub.add_parser("serve",
+                       help="long-lived sharded scatter-gather query "
+                            "daemon (HTTP; see docs/SERVING.md)")
+    p.add_argument("database", help="database directory or XML file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8388,
+                   help="listen port (0 = ephemeral, printed at start)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="re-partition an unsharded database in memory; "
+                        "sharded directories use their manifest")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes per shard (0 = evaluate "
+                        "in-process on a thread)")
+    p.add_argument("--max-concurrency", type=int, default=8,
+                   help="queries evaluated at once; above this they "
+                        "queue")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="queued queries before 429 queue_full shedding")
+    p.add_argument("--timeout-ms", type=float, default=None,
+                   help="default per-query budget when the request "
+                        "carries none")
+    p.add_argument("--partial", action="store_true",
+                   help="default deadline policy: partial results "
+                        "instead of 504")
+    p.add_argument("--result-cache-size", type=int, default=1024,
+                   help="daemon response cache entries (0 disables)")
+    p.add_argument("--eager", action="store_true",
+                   help="fully materialize the database at load "
+                        "instead of the lazy mmap-backed mode")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("info", help="database statistics and index sizes")
     p.add_argument("database")

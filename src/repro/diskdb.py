@@ -97,10 +97,46 @@ def _fault_hook(stage: str) -> None:
     """
 
 
+def _commit_atomically(path: str, data_files, meta_blob: bytes,
+                       fsync: bool) -> None:
+    """Stage `data_files` (relative-path, blob) plus ``meta.json`` in a
+    sibling temp directory and move them into place, manifest strictly
+    last.  Relative paths may contain one level of subdirectory (the
+    shard layout), created under both the stage and the target."""
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(parent, exist_ok=True)
+    tmp_dir = tempfile.mkdtemp(prefix=os.path.basename(path) + ".tmp-",
+                               dir=parent)
+    try:
+        for name, blob in data_files:
+            staged = os.path.join(tmp_dir, name)
+            os.makedirs(os.path.dirname(staged), exist_ok=True)
+            write_bytes(staged, blob, fsync=fsync)
+        write_bytes(os.path.join(tmp_dir, _META), meta_blob, fsync=fsync)
+        _fault_hook("tmp-written")
+        os.makedirs(path, exist_ok=True)
+        for name, _blob in data_files:
+            target = os.path.join(path, name)
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            os.replace(os.path.join(tmp_dir, name), target)
+        if fsync:
+            fsync_dir(path)
+        _fault_hook("data-replaced")
+        # Manifest strictly last: its digests vouch for the data files,
+        # so any interleaving of crash and rename is detectable.
+        os.replace(os.path.join(tmp_dir, _META), os.path.join(path, _META))
+        if fsync:
+            fsync_dir(path)
+        _fault_hook("meta-replaced")
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+
+
 def save_database(db: XMLDatabase, path: str,
                   algorithm: Optional[str] = None,
                   fsync: bool = True,
-                  format_version: Optional[int] = None) -> None:
+                  format_version: Optional[int] = None,
+                  shards: Optional[int] = None) -> None:
     """Write `db` (document + both indexes) to directory `path`, atomically.
 
     Builds any index not yet built.  All files are staged in a sibling
@@ -117,9 +153,23 @@ def save_database(db: XMLDatabase, path: str,
 
     Bytes written are published as ``repro_disk_bytes_written_total``
     in the process metrics registry.
+
+    ``shards=N`` writes the *sharded* layout instead
+    (`docs/SERVING.md`): one format-v3 columnar container and one
+    blocked Dewey container per shard under ``shard-XX/``
+    subdirectories, partitioned by root-child subtree
+    (`repro.serve.sharding`), plus a shard manifest in ``meta.json``.
+    Opening a sharded directory returns a
+    `repro.serve.ShardedDatabase`.
     """
     metrics = get_registry()
     algorithm = algorithm if algorithm is not None else DEFAULT_ALGORITHM
+    if shards is not None:
+        if format_version not in (None, 3):
+            raise ValueError("sharded databases require format version 3 "
+                             f"(got {format_version!r})")
+        return _save_sharded(db, path, int(shards), algorithm, fsync,
+                             metrics)
     version = FORMAT_VERSION if format_version is None else int(format_version)
     if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unknown format version {version!r}; "
@@ -163,36 +213,74 @@ def save_database(db: XMLDatabase, path: str,
             },
         }
     meta_blob = json.dumps(meta, indent=2, sort_keys=True).encode("utf-8")
-
-    parent = os.path.dirname(os.path.abspath(path)) or "."
-    os.makedirs(parent, exist_ok=True)
-    tmp_dir = tempfile.mkdtemp(prefix=os.path.basename(path) + ".tmp-",
-                               dir=parent)
     data_files = [(_DOCUMENT, document), (_COLUMNAR, columnar_blob),
                   (_DEWEY, dewey_blob)]
-    try:
-        for name, blob in data_files:
-            write_bytes(os.path.join(tmp_dir, name), blob, fsync=fsync)
-        write_bytes(os.path.join(tmp_dir, _META), meta_blob, fsync=fsync)
-        _fault_hook("tmp-written")
-        os.makedirs(path, exist_ok=True)
-        for name, _blob in data_files:
-            os.replace(os.path.join(tmp_dir, name),
-                       os.path.join(path, name))
-        if fsync:
-            fsync_dir(path)
-        _fault_hook("data-replaced")
-        # Manifest strictly last: its digests vouch for the data files,
-        # so any interleaving of crash and rename is detectable.
-        os.replace(os.path.join(tmp_dir, _META), os.path.join(path, _META))
-        if fsync:
-            fsync_dir(path)
-        _fault_hook("meta-replaced")
-    finally:
-        shutil.rmtree(tmp_dir, ignore_errors=True)
+    _commit_atomically(path, data_files, meta_blob, fsync)
     metrics.counter("repro_disk_bytes_written_total").inc(
         len(document) + len(columnar_blob) + len(dewey_blob)
         + len(meta_blob))
+    metrics.counter("repro_db_saves_total").inc()
+
+
+def _shard_dir(sid: int) -> str:
+    return f"shard-{sid:02d}"
+
+
+def _save_sharded(db: XMLDatabase, path: str, n_shards: int,
+                  algorithm: str, fsync: bool, metrics) -> None:
+    """Write the sharded layout: one v3 columnar + one blocked Dewey
+    container per root-child-subtree shard, one shared document, one
+    manifest.  Same atomic commit discipline as the flat layout."""
+    from .serve.sharding import partition_columnar, partition_inverted
+
+    if n_shards < 1:
+        raise ValueError("shards must be >= 1")
+    document = db.tree.to_xml().encode("utf-8")
+    columnar = db.columnar_index
+    inverted = db.inverted_index
+    col_shards = partition_columnar(
+        {t: columnar.term_postings(t) for t in columnar.vocabulary},
+        db.tree, n_shards)
+    dew_shards = partition_inverted(
+        {t: inverted.term_list(t) for t in inverted.vocabulary}, n_shards)
+
+    data_files = [(_DOCUMENT, document)]
+    for sid in range(n_shards):
+        col_blob = storage.serialize_columnar_index_v3(
+            storage.PostingsView(col_shards[sid]),
+            score_mode=storage.SCORES_EXACT, algorithm=algorithm)
+        dew_blob = storage.serialize_inverted_index_blocked(
+            storage.PostingsView(dew_shards[sid]),
+            score_mode=storage.SCORES_EXACT, algorithm=algorithm)
+        data_files.append((os.path.join(_shard_dir(sid), _COLUMNAR),
+                           col_blob))
+        data_files.append((os.path.join(_shard_dir(sid), _DEWEY),
+                           dew_blob))
+    meta = {
+        "format_version": 3,
+        "jdewey_gap": db.encoder.gap,
+        "n_docs": inverted.n_docs,
+        "damping_base": db.ranking.damping.base,
+        "tokenizer": {
+            "stopwords": sorted(db.tokenizer.stopwords),
+            "min_length": db.tokenizer.min_length,
+        },
+        "n_nodes": len(db.tree),
+        "shards": {
+            "count": n_shards,
+            "strategy": "root-child-mod",
+            "dirs": [_shard_dir(sid) for sid in range(n_shards)],
+        },
+        "checksum": {
+            "algorithm": algorithm,
+            "files": {name: hex_digest(blob, algorithm)
+                      for name, blob in data_files},
+        },
+    }
+    meta_blob = json.dumps(meta, indent=2, sort_keys=True).encode("utf-8")
+    _commit_atomically(path, data_files, meta_blob, fsync)
+    metrics.counter("repro_disk_bytes_written_total").inc(
+        sum(len(blob) for _name, blob in data_files) + len(meta_blob))
     metrics.counter("repro_db_saves_total").inc()
 
 
@@ -206,8 +294,13 @@ def load_database(path: str,
                   injector: Optional[FaultInjector] = None,
                   retry: Optional[RetryPolicy] = None,
                   vectorized: bool = True,
-                  **db_kwargs) -> XMLDatabase:
+                  **db_kwargs):
     """Open a directory written by `save_database`.
+
+    Returns an `XMLDatabase`, or a `repro.serve.ShardedDatabase` when
+    the manifest carries a shard layout (``save_database(shards=N)``);
+    both answer the same search surface.  For a sharded directory the
+    ``cache`` argument is ignored (each shard keeps its own caches).
 
     ``cache`` / ``postings_cache_size`` / ``result_cache_size`` and any
     extra keyword arguments (``tracer``, ``metrics``, ``slow_log``, ...)
@@ -318,73 +411,116 @@ def load_database(path: str,
         tokenizer = Tokenizer(stopwords=stopwords, min_length=min_length)
         if ranking is None:
             ranking = RankingModel(damping=DampingFunction(damping_base))
-        db = XMLDatabase(tree, tokenizer=tokenizer, ranking=ranking,
-                         jdewey_gap=jdewey_gap, cache=cache,
-                         postings_cache_size=postings_cache_size,
-                         result_cache_size=result_cache_size,
-                         **db_kwargs)
     except (TypeError, ValueError) as exc:
         raise DatabaseFormatError(
             f"{_META} carries an invalid configuration: {exc}") from exc
 
-    if version >= 3:
-        # Zero-copy path: mmap the columnar container.  With a fault
-        # injector installed `map_bytes` degrades to the copying read
-        # so the fault matrix stays observable.
+    def make_db(db_cache):
         try:
-            columnar_source = map_bytes(
-                os.path.join(path, _COLUMNAR), injector=injector,
-                retry=retry, metrics=metrics, op="read-columnar")
-        except RetryExhaustedError as exc:
-            raise DatabaseCorruptError(
-                f"could not read {_COLUMNAR}: {exc}",
-                file=_COLUMNAR) from exc
-        columnar_blob = getattr(columnar_source, "view", columnar_source)
-    else:
-        columnar_source = columnar_blob = read_file(_COLUMNAR,
-                                                    "read-columnar")
-    dewey_blob = read_file(_DEWEY, "read-dewey")
-    bytes_read.inc(len(columnar_blob) + len(dewey_blob))
-    verify_file(_DEWEY, dewey_blob)
-    if not lazy:
-        # The lazy path skips the whole-file pass on the columnar blob
-        # on purpose: its per-block CRCs cover exactly the bytes a
-        # query touches, when it touches them.
-        verify_file(_COLUMNAR, columnar_blob)
+            return XMLDatabase(tree, tokenizer=tokenizer, ranking=ranking,
+                               jdewey_gap=jdewey_gap, cache=db_cache,
+                               postings_cache_size=postings_cache_size,
+                               result_cache_size=result_cache_size,
+                               **db_kwargs)
+        except (TypeError, ValueError) as exc:
+            raise DatabaseFormatError(
+                f"{_META} carries an invalid configuration: {exc}") from exc
 
-    if version >= 2:
-        # Block CRCs are not re-checked here -- the whole-file digest
-        # above already covered every byte (unless verify="off", which
-        # asked for no checks at all).
-        dewey_lists = storage.deserialize_inverted_index_blocked(
-            dewey_blob, verify=False, file=_DEWEY)
-    else:
-        dewey_lists = storage.guarded_deserialize_inverted(
-            dewey_blob, file=_DEWEY)
-    db._inverted = InvertedIndex.from_lists(
-        tree, dewey_lists, tokenizer, ranking, n_docs)
-
-    if lazy:
-        lazy_index = LazyColumnarIndex(
-            columnar_source, tree, tokenizer, ranking,
-            verify=verify if version >= 2 else "off",
-            source=_COLUMNAR, metrics=metrics, vectorized=vectorized)
-        lazy_index.n_docs = n_docs
-        db._columnar = lazy_index
-    else:
+    def load_indexes(db: XMLDatabase, columnar_rel: str = _COLUMNAR,
+                     dewey_rel: str = _DEWEY) -> None:
+        """Read one (columnar, dewey) container pair into `db` -- the
+        flat layout's two files, or one shard's subdirectory pair."""
         if version >= 3:
-            columnar_postings = storage.deserialize_columnar_index_v3(
-                columnar_blob, verify=False, file=_COLUMNAR,
-                vectorized=vectorized)
-        elif version == 2:
-            columnar_postings = storage.deserialize_columnar_index_blocked(
-                columnar_blob, verify=False, file=_COLUMNAR)
+            # Zero-copy path: mmap the columnar container.  With a
+            # fault injector installed `map_bytes` degrades to the
+            # copying read so the fault matrix stays observable.
+            try:
+                columnar_source = map_bytes(
+                    os.path.join(path, columnar_rel), injector=injector,
+                    retry=retry, metrics=metrics, op="read-columnar")
+            except RetryExhaustedError as exc:
+                raise DatabaseCorruptError(
+                    f"could not read {columnar_rel}: {exc}",
+                    file=columnar_rel) from exc
+            columnar_blob = getattr(columnar_source, "view",
+                                    columnar_source)
         else:
-            columnar_postings = storage.guarded_deserialize_columnar(
-                columnar_blob, file=_COLUMNAR)
-        db._columnar = ColumnarIndex.from_postings(
-            tree, columnar_postings, tokenizer, ranking, n_docs)
-        _verify_consistency(db)
+            columnar_source = columnar_blob = read_file(columnar_rel,
+                                                        "read-columnar")
+        dewey_blob = read_file(dewey_rel, "read-dewey")
+        bytes_read.inc(len(columnar_blob) + len(dewey_blob))
+        verify_file(dewey_rel, dewey_blob)
+        if not lazy:
+            # The lazy path skips the whole-file pass on the columnar
+            # blob on purpose: its per-block CRCs cover exactly the
+            # bytes a query touches, when it touches them.
+            verify_file(columnar_rel, columnar_blob)
+
+        if version >= 2:
+            # Block CRCs are not re-checked here -- the whole-file
+            # digest above already covered every byte (unless
+            # verify="off", which asked for no checks at all).
+            dewey_lists = storage.deserialize_inverted_index_blocked(
+                dewey_blob, verify=False, file=dewey_rel)
+        else:
+            dewey_lists = storage.guarded_deserialize_inverted(
+                dewey_blob, file=dewey_rel)
+        db._inverted = InvertedIndex.from_lists(
+            tree, dewey_lists, tokenizer, ranking, n_docs)
+
+        if lazy:
+            lazy_index = LazyColumnarIndex(
+                columnar_source, tree, tokenizer, ranking,
+                verify=verify if version >= 2 else "off",
+                source=columnar_rel, metrics=metrics,
+                vectorized=vectorized)
+            lazy_index.n_docs = n_docs
+            db._columnar = lazy_index
+        else:
+            if version >= 3:
+                columnar_postings = storage.deserialize_columnar_index_v3(
+                    columnar_blob, verify=False, file=columnar_rel,
+                    vectorized=vectorized)
+            elif version == 2:
+                columnar_postings = \
+                    storage.deserialize_columnar_index_blocked(
+                        columnar_blob, verify=False, file=columnar_rel)
+            else:
+                columnar_postings = storage.guarded_deserialize_columnar(
+                    columnar_blob, file=columnar_rel)
+            db._columnar = ColumnarIndex.from_postings(
+                tree, columnar_postings, tokenizer, ranking, n_docs)
+            _verify_consistency(db)
+
+    shards_meta = meta.get("shards")
+    if shards_meta is not None:
+        from .serve.merge import ShardedDatabase
+
+        try:
+            shard_count = int(shards_meta["count"])
+            shard_dirs = [str(d) for d in shards_meta["dirs"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatabaseFormatError(
+                f"{_META} has an invalid shard manifest: {exc!r}") from exc
+        if shard_count < 1 or shard_count != len(shard_dirs):
+            raise DatabaseFormatError(
+                f"{_META} shard manifest is inconsistent: count="
+                f"{shard_count} with {len(shard_dirs)} directories")
+        # Each shard gets its own caches (`cache` is ignored): result
+        # keys carry no shard id, so one shared cache would hand shard
+        # A's answers to shard B.
+        shard_dbs = []
+        for shard_dir in shard_dirs:
+            shard_db = make_db(None)
+            load_indexes(shard_db,
+                         columnar_rel=os.path.join(shard_dir, _COLUMNAR),
+                         dewey_rel=os.path.join(shard_dir, _DEWEY))
+            shard_dbs.append(shard_db)
+        metrics.counter("repro_db_loads_total").inc()
+        return ShardedDatabase(tree, shard_dbs, manifest=shards_meta)
+
+    db = make_db(cache)
+    load_indexes(db)
     metrics.counter("repro_db_loads_total").inc()
     return db
 

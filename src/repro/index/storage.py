@@ -387,6 +387,32 @@ def verify_block(data: bytes, ref: BlockRef, algorithm: str,
     return payload
 
 
+class PostingsView:
+    """Duck-typed index over a plain ``term -> postings`` dict.
+
+    Every container serializer walks ``index.vocabulary`` and calls
+    ``term_postings`` / ``term_list``; the shard writer partitions one
+    index into N posting dicts and must serialize each without paying
+    for N node-map rebuilds, so this view supplies exactly the two
+    members the serializers touch.
+    """
+
+    __slots__ = ("_postings",)
+
+    def __init__(self, postings_by_term: Dict[str, object]):
+        self._postings = postings_by_term
+
+    @property
+    def vocabulary(self) -> List[str]:
+        return sorted(self._postings)
+
+    def term_postings(self, term: str):
+        return self._postings[term]
+
+    # Dewey containers spell the accessor differently.
+    term_list = term_postings
+
+
 def serialize_columnar_index_blocked(index: ColumnarIndex,
                                      with_scores: bool = False,
                                      score_mode: int = None,

@@ -93,12 +93,36 @@ class Gauge:
     def set_fn(self, fn: Callable[[], float]) -> None:
         self._fn = fn
 
+    def clear_fn(self) -> None:
+        """Detach a derived-value hook (back to the stored value)."""
+        self._fn = None
+
+    def track(self):
+        """Context manager: +1 on entry, -1 on exit (queue depths,
+        in-flight request gauges -- exception-safe by construction)."""
+        return _GaugeTrack(self)
+
     @property
     def value(self) -> float:
         if self._fn is not None:
             return float(self._fn())
         with self._lock:
             return self._value
+
+
+class _GaugeTrack:
+    __slots__ = ("_gauge",)
+
+    def __init__(self, gauge: Gauge):
+        self._gauge = gauge
+
+    def __enter__(self):
+        self._gauge.inc()
+        return self._gauge
+
+    def __exit__(self, *exc_info):
+        self._gauge.dec()
+        return False
 
 
 class Histogram:

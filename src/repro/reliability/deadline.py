@@ -118,6 +118,27 @@ class Deadline:
         if self.expired():
             self.raise_expired()
 
+    def to_wire(self) -> dict:
+        """Serialize for a hop to another process or over HTTP.
+
+        The absolute start instant does not survive a clock domain
+        change, so the wire form carries the *remaining* budget and the
+        policy; `from_wire` on the receiving side restarts the clock
+        from its own "now".  Time spent on the wire (or in an accept
+        queue) between the two calls is therefore not charged -- the
+        sender accounts for it by serializing as late as possible.
+        """
+        remaining = self.remaining_ms()
+        return {"timeout_ms": (None if remaining == float("inf")
+                               else max(0.0, remaining)),
+                "on_deadline": self.on_deadline}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "Deadline":
+        """Rebuild a deadline from `to_wire` output, clock restarted."""
+        return cls(wire.get("timeout_ms"),
+                   wire.get("on_deadline", RAISE))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         budget = "inf" if self.budget_ms is None else f"{self.budget_ms:g}ms"
         return f"<Deadline {budget} on_deadline={self.on_deadline}>"

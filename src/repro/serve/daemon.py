@@ -1,0 +1,588 @@
+"""Long-lived sharded query daemon (`repro serve`, `docs/SERVING.md`).
+
+A single-threaded asyncio front-end owns the accept loop, admission
+control and the scatter-gather merge; query evaluation runs either
+in-process (``workers=0``) or on per-shard fork/copy-on-write process
+pools (``workers=W``), the same forking discipline as
+`XMLDatabase.batch_executor`: the parent installs the shard databases
+in a module global *before* the pools fork, so workers inherit index
+structures -- including format-v3 mmap'd columns -- without any
+serialization, and a pool's workers only ever touch their own shard
+(warm per-process block caches stay shard-affine).
+
+Admission control is explicit and typed (HTTP endpoints below):
+
+* a **bounded accept queue** -- requests beyond ``max_concurrency``
+  wait; once more than ``queue_limit`` are waiting, new arrivals are
+  rejected immediately with 429 / ``queue_full`` instead of queueing
+  unboundedly;
+* **deadline propagation** -- the request budget starts at *arrival*
+  (client ``timeout_ms`` or the configured default), so time spent
+  waiting for an execution slot is charged against it; what remains is
+  re-issued to every shard via `Deadline.to_wire`, and a budget that
+  dies in the queue is rejected as 504 / ``deadline`` without running
+  anything;
+* the ``partial`` policy returns consistent merged partials: every
+  shard's unreturned results score at most its reported bound, so the
+  merge keeps only results above the largest bound and reports that
+  bound.
+
+Endpoints: ``GET /search`` (complete, document order), ``GET /topk``
+(best-first top-K), ``GET /healthz``, ``GET /stats``, ``GET /metrics``
+(Prometheus text), ``POST /cache/clear``.  Query parameters:
+``q`` (required), ``semantics`` (elca|slca), ``k`` (topk only),
+``timeout_ms``, ``partial`` (0|1).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+import urllib.parse
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms.base import ELCA, SEMANTICS, SearchResult
+from ..cache import QueryCache, result_key
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..reliability.deadline import Deadline
+from ..reliability.errors import DeadlineExceeded
+from .merge import ShardedDatabase
+
+#: Shard id -> per-shard `XMLDatabase`, inherited copy-on-write by the
+#: forked pool workers.  Populated completely before any pool is
+#: created -- fork happens lazily on first submit, and a worker that
+#: forked before the dict was full would serve the wrong world.
+_SERVE_DBS: Dict[int, object] = {}
+
+
+class AdmissionError(Exception):
+    """Typed rejection: carries the HTTP status and machine-readable
+    reason the client sees (429 ``queue_full`` / 504 ``deadline``)."""
+
+    def __init__(self, status: int, reason: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+
+
+def _light(results: Sequence[SearchResult]) -> List[Tuple]:
+    """Results as `(level, jdewey-number, score, witnesses)` tuples --
+    what crosses the process boundary instead of node graphs."""
+    return [(r.node.level, r.node.jdewey[-1], r.score,
+             tuple(r.witness_scores)) for r in results]
+
+
+def _serve_shard_topk(payload):
+    """Pool entry: one shard's slice of a top-K scatter.
+
+    Evaluates ``k+1`` shard-locally (one slot covers the dropped
+    shard-local root) and ships light tuples plus the stream outcome;
+    exceptions return as values so one shard cannot lose the gather.
+    """
+    sid, terms, semantics, k, wire = payload
+    db = _SERVE_DBS.get(sid)
+    if db is None:  # pragma: no cover - misuse guard
+        return sid, None, False, None, 0.0, RuntimeError(
+            "worker has no shard database; pools must be created by "
+            "ServeDaemon after _SERVE_DBS is installed")
+    deadline = Deadline.from_wire(wire) if wire else None
+    start = time.perf_counter()
+    try:
+        top = db._topk_result(terms, semantics, "topk-join", k + 1,
+                              deadline=deadline)
+        light = _light(r for r in top.results if r.level > 1)
+        elapsed = (time.perf_counter() - start) * 1000.0
+        bound = top.bound
+        if top.partial and bound is None:
+            bound = float("inf")
+        return sid, light, top.partial, bound, elapsed, None
+    except Exception as exc:  # noqa: BLE001 - shipped back as a value
+        import pickle
+
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+        return sid, None, False, None, (time.perf_counter() - start) * 1000.0, exc
+
+
+def _serve_shard_search(payload):
+    """Pool entry: one shard's slice of a complete-evaluation scatter."""
+    sid, terms, semantics, wire = payload
+    db = _SERVE_DBS.get(sid)
+    if db is None:  # pragma: no cover - misuse guard
+        return sid, None, False, None, 0.0, RuntimeError(
+            "worker has no shard database")
+    deadline = Deadline.from_wire(wire) if wire else None
+    start = time.perf_counter()
+    try:
+        results, stats = db._complete_results(terms, semantics, "join",
+                                              deadline=deadline)
+        light = _light(r for r in results if r.level > 1)
+        elapsed = (time.perf_counter() - start) * 1000.0
+        return sid, light, stats.partial, None, elapsed, None
+    except Exception as exc:  # noqa: BLE001
+        import pickle
+
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+        return sid, None, False, None, (time.perf_counter() - start) * 1000.0, exc
+
+
+class ServeDaemon:
+    """The serving front-end: admission control + scatter-gather merge.
+
+    ``workers=0`` evaluates in-process on a thread off the event loop
+    (the right default on small machines -- no IPC tax); ``workers>=1``
+    creates one fork-context pool of that width per shard.  Either way
+    the event loop itself never evaluates a query: it only admits,
+    dispatches, merges and serializes.
+    """
+
+    def __init__(self, db: ShardedDatabase, host: str = "127.0.0.1",
+                 port: int = 8388, workers: int = 0,
+                 max_concurrency: int = 8, queue_limit: int = 64,
+                 default_timeout_ms: Optional[float] = None,
+                 default_partial: bool = False,
+                 result_cache_size: int = 1024,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.db = db
+        self.host = host
+        self.port = port
+        self.workers = int(workers)
+        self.max_concurrency = max(1, int(max_concurrency))
+        self.queue_limit = max(0, int(queue_limit))
+        self.default_timeout_ms = default_timeout_ms
+        self.default_partial = default_partial
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.cache = QueryCache(0, result_cache_size)
+        self._pools: List = []
+        self._sem: Optional[asyncio.Semaphore] = None
+        self._waiting = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self._started = time.perf_counter()
+        # instruments (created eagerly so /metrics shows them at zero)
+        reg = self.metrics
+        self._queue_depth = reg.gauge("repro_serve_queue_depth")
+        self._inflight = reg.gauge("repro_serve_inflight")
+        self._queue_wait = reg.histogram("repro_serve_queue_wait_ms")
+        self._latency = reg.histogram("repro_serve_latency_ms")
+        for reason in ("queue_full", "deadline"):
+            reg.counter("repro_serve_rejects_total", {"reason": reason})
+        for outcome in ("ok", "partial", "error"):
+            reg.counter("repro_serve_requests_total", {"outcome": outcome})
+        for sid in range(db.n_shards):
+            reg.histogram("repro_serve_shard_ms", {"shard": str(sid)})
+
+    # ------------------------------------------------------------------
+    # pools
+    # ------------------------------------------------------------------
+
+    def _start_pools(self) -> None:
+        if self.workers < 1:
+            return
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            self.workers = 0
+            return
+        global _SERVE_DBS
+        _SERVE_DBS = {sid: shard for sid, shard
+                      in enumerate(self.db.shards)}
+        self._pools = [ProcessPoolExecutor(max_workers=self.workers,
+                                           mp_context=ctx)
+                       for _ in range(self.db.n_shards)]
+
+    def _stop_pools(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._pools = []
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    async def _admit(self, deadline: Optional[Deadline]):
+        """Pass admission control or raise a typed `AdmissionError`.
+
+        Returns the queue wait in ms; the caller must release
+        ``self._sem`` when the query finishes.
+        """
+        if self._waiting >= self.queue_limit:
+            self.metrics.counter("repro_serve_rejects_total",
+                                 {"reason": "queue_full"}).inc()
+            raise AdmissionError(
+                429, "queue_full",
+                f"accept queue is full ({self._waiting} waiting, "
+                f"limit {self.queue_limit}); retry later")
+        waited = time.perf_counter()
+        self._waiting += 1
+        self._queue_depth.set(self._waiting)
+        try:
+            timeout_s = None
+            if deadline is not None and deadline.budget_ms is not None:
+                timeout_s = max(0.0, deadline.remaining_ms() / 1000.0)
+            try:
+                if timeout_s is None:
+                    await self._sem.acquire()
+                else:
+                    await asyncio.wait_for(self._sem.acquire(), timeout_s)
+            except asyncio.TimeoutError:
+                self.metrics.counter("repro_serve_rejects_total",
+                                     {"reason": "deadline"}).inc()
+                raise AdmissionError(
+                    504, "deadline",
+                    "budget expired while waiting for an execution slot")
+        finally:
+            self._waiting -= 1
+            self._queue_depth.set(self._waiting)
+        wait_ms = (time.perf_counter() - waited) * 1000.0
+        self._queue_wait.observe(wait_ms)
+        if deadline is not None and deadline.expired():
+            self._sem.release()
+            self.metrics.counter("repro_serve_rejects_total",
+                                 {"reason": "deadline"}).inc()
+            raise AdmissionError(
+                504, "deadline",
+                "budget expired while waiting for an execution slot")
+        return wait_ms
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def _rehydrate(self, light: Sequence[Tuple]) -> List[SearchResult]:
+        node_at = self.db.shards[0].columnar_index.node_at
+        return [SearchResult(node_at(level, number), level, score,
+                             tuple(witnesses))
+                for level, number, score, witnesses in light]
+
+    async def _scatter(self, fn, payloads) -> List[Tuple]:
+        """Run one pool task per qualifying shard, concurrently."""
+        loop = asyncio.get_running_loop()
+        futures = [loop.run_in_executor(self._pools[payload[0]], fn,
+                                        payload)
+                   for payload in payloads]
+        outcomes = await asyncio.gather(*futures)
+        for sid, _light, _partial, _bound, elapsed, exc in outcomes:
+            self.metrics.histogram("repro_serve_shard_ms",
+                                   {"shard": str(sid)}).observe(elapsed)
+            if exc is not None:
+                raise exc
+        return outcomes
+
+    async def _eval_topk(self, terms: List[str], semantics: str, k: int,
+                         deadline: Optional[Deadline]) -> dict:
+        db = self.db
+        if self.workers < 1:
+            top = await asyncio.get_running_loop().run_in_executor(
+                None, lambda: db.search_topk(terms, k, semantics,
+                                             deadline=deadline))
+            return self._payload(top.results, top.partial, top.bound)
+        if not db._covered(terms):
+            return self._payload([], False, None)
+        wire = deadline.to_wire() if deadline is not None else None
+        shard_ids = [sid for sid, shard in enumerate(db.shards)
+                     if all(t in shard.columnar_index for t in terms)]
+        outcomes = await self._scatter(
+            _serve_shard_topk,
+            [(sid, terms, semantics, k, wire) for sid in shard_ids])
+        merged: List[SearchResult] = []
+        partial, bound = False, None
+        for _sid, light, shard_partial, shard_bound, _ms, _exc in outcomes:
+            merged.extend(self._rehydrate(light))
+            if shard_partial:
+                partial = True
+                if bound is None or shard_bound > bound:
+                    bound = shard_bound
+        root = db._root_result(terms, semantics)
+        if root is not None:
+            merged.append(root)
+        merged.sort(key=lambda r: (-r.score, r.node.dewey))
+        if partial:
+            merged = [r for r in merged if r.score > bound]
+        return self._payload(merged[:k], partial, bound)
+
+    async def _eval_search(self, terms: List[str], semantics: str,
+                           deadline: Optional[Deadline]) -> dict:
+        db = self.db
+        if self.workers < 1:
+            results, stats = await asyncio.get_running_loop().run_in_executor(
+                None, lambda: db.search(terms, semantics,
+                                        deadline=deadline,
+                                        with_stats=True))
+            return self._payload(results, stats.partial, None)
+        if not db._covered(terms):
+            return self._payload([], False, None)
+        wire = deadline.to_wire() if deadline is not None else None
+        shard_ids = [sid for sid, shard in enumerate(db.shards)
+                     if all(t in shard.columnar_index for t in terms)]
+        outcomes = await self._scatter(
+            _serve_shard_search,
+            [(sid, terms, semantics, wire) for sid in shard_ids])
+        merged: List[SearchResult] = []
+        partial = False
+        for _sid, light, shard_partial, _bound, _ms, _exc in outcomes:
+            merged.extend(self._rehydrate(light))
+            partial = partial or shard_partial
+        if deadline is not None and deadline.expired():
+            partial = True
+        else:
+            root = db._root_result(terms, semantics)
+            if root is not None:
+                merged.append(root)
+        merged.sort(key=lambda r: r.node.dewey)
+        return self._payload(merged, partial, None)
+
+    def _payload(self, results: Sequence[SearchResult], partial: bool,
+                 bound: Optional[float]) -> dict:
+        return {
+            "results": [{
+                "dewey": list(r.node.dewey),
+                "tag": r.node.tag,
+                "level": r.level,
+                "score": r.score,
+                "witnesses": list(r.witness_scores),
+            } for r in results],
+            "partial": bool(partial),
+            "bound": (None if bound is None or bound == float("inf")
+                      else bound),
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_query(self, endpoint: str, params: dict) -> Tuple[int, dict]:
+        query = params.get("q", "").strip()
+        if not query:
+            return 400, {"error": {"type": "bad_request",
+                                   "message": "missing ?q="}}
+        semantics = params.get("semantics", ELCA)
+        if semantics not in SEMANTICS:
+            return 400, {"error": {"type": "bad_request",
+                                   "message": f"unknown semantics "
+                                              f"{semantics!r}"}}
+        k = None
+        if endpoint == "topk":
+            try:
+                k = int(params.get("k", "10"))
+            except ValueError:
+                return 400, {"error": {"type": "bad_request",
+                                       "message": "k must be an integer"}}
+            if k < 1:
+                return 400, {"error": {"type": "bad_request",
+                                       "message": "k must be >= 1"}}
+        timeout_ms = self.default_timeout_ms
+        if "timeout_ms" in params:
+            try:
+                timeout_ms = float(params["timeout_ms"])
+            except ValueError:
+                return 400, {"error": {"type": "bad_request",
+                                       "message": "timeout_ms must be "
+                                                  "a number"}}
+        partial_ok = self.default_partial
+        if "partial" in params:
+            partial_ok = params["partial"] not in ("0", "false", "")
+        # The budget starts *now*, at admission -- queue wait spends it.
+        deadline = Deadline.coerce(None, timeout_ms,
+                                   "partial" if partial_ok else "raise")
+        arrival = time.perf_counter()
+        terms = self.db._terms(query)
+        cache_key = result_key(terms, semantics,
+                               "serve-" + endpoint, k)
+        cached = self.cache.get_results(cache_key)
+        if cached is not None:
+            # `get_results` hands back a list copy; the single element
+            # is the cached response body.
+            body = dict(cached[0])
+            body.update(terms=terms, semantics=semantics, cached=True,
+                        elapsed_ms=(time.perf_counter() - arrival) * 1000.0)
+            self.metrics.counter("repro_serve_requests_total",
+                                 {"outcome": "ok"}).inc()
+            return 200, body
+        try:
+            await self._admit(deadline)
+        except AdmissionError as exc:
+            if exc.reason == "deadline" and partial_ok:
+                # The partial policy promises degraded answers instead
+                # of failure; a budget spent entirely in the queue has
+                # the degenerate consistent partial: nothing, no bound.
+                self.metrics.counter("repro_serve_requests_total",
+                                     {"outcome": "partial"}).inc()
+                body = self._payload([], True, None)
+                body.update(terms=terms, semantics=semantics,
+                            cached=False,
+                            elapsed_ms=(time.perf_counter() - arrival)
+                            * 1000.0)
+                return 200, body
+            return exc.status, {"error": {"type": exc.reason,
+                                          "message": str(exc)}}
+        self._inflight.inc()
+        try:
+            if endpoint == "topk":
+                body = await self._eval_topk(terms, semantics, k, deadline)
+            else:
+                body = await self._eval_search(terms, semantics, deadline)
+        except DeadlineExceeded as exc:
+            self.metrics.counter("repro_serve_requests_total",
+                                 {"outcome": "error"}).inc()
+            return 504, {"error": {"type": "deadline", "message": str(exc)}}
+        except Exception as exc:  # noqa: BLE001 - typed 500
+            self.metrics.counter("repro_serve_requests_total",
+                                 {"outcome": "error"}).inc()
+            return 500, {"error": {"type": "internal",
+                                   "message": f"{type(exc).__name__}: "
+                                              f"{exc}"}}
+        finally:
+            self._inflight.dec()
+            self._sem.release()
+        elapsed_ms = (time.perf_counter() - arrival) * 1000.0
+        self._latency.observe(elapsed_ms)
+        outcome = "partial" if body["partial"] else "ok"
+        self.metrics.counter("repro_serve_requests_total",
+                             {"outcome": outcome}).inc()
+        if not body["partial"]:
+            self.cache.put_results(cache_key, [dict(body)])
+        body.update(terms=terms, semantics=semantics, cached=False,
+                    elapsed_ms=elapsed_ms)
+        return 200, body
+
+    async def _dispatch(self, method: str, path: str) -> Tuple[int, str, str]:
+        """Route one request; returns (status, content_type, body)."""
+        parsed = urllib.parse.urlsplit(path)
+        params = {key: values[-1] for key, values
+                  in urllib.parse.parse_qs(parsed.query).items()}
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/metrics":
+            return 200, "text/plain; version=0.0.4", \
+                self.metrics.render_prometheus()
+        if route == "/healthz":
+            return 200, "application/json", json.dumps(
+                {"status": "ok", "shards": self.db.n_shards,
+                 "workers": self.workers})
+        if route == "/stats":
+            return 200, "application/json", json.dumps({
+                "shards": self.db.n_shards,
+                "workers": self.workers,
+                "manifest": self.db.manifest,
+                "uptime_s": time.perf_counter() - self._started,
+                "max_concurrency": self.max_concurrency,
+                "queue_limit": self.queue_limit,
+                "cache": self.cache.stats(),
+            })
+        if route == "/cache/clear":
+            if method != "POST":
+                return 405, "application/json", json.dumps(
+                    {"error": {"type": "method_not_allowed",
+                               "message": "POST /cache/clear"}})
+            self.cache.clear()
+            self.db.clear_caches()
+            return 200, "application/json", json.dumps({"cleared": True})
+        if route in ("/search", "/topk"):
+            status, body = await self._handle_query(route[1:], params)
+            return status, "application/json", json.dumps(body)
+        return 404, "application/json", json.dumps(
+            {"error": {"type": "not_found", "message": route}})
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    raw = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                except asyncio.LimitOverrunError:
+                    return
+                head = raw.decode("latin-1", "replace")
+                request_line, *header_lines = head.split("\r\n")
+                parts = request_line.split(" ")
+                if len(parts) < 2:
+                    return
+                method, path = parts[0], parts[1]
+                headers = {}
+                for line in header_lines:
+                    if ":" in line:
+                        name, _sep, value = line.partition(":")
+                        headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", "0") or 0)
+                if length:
+                    await reader.readexactly(length)
+                status, ctype, body = await self._dispatch(method, path)
+                close = headers.get("connection", "").lower() == "close"
+                payload = body.encode("utf-8")
+                reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                          405: "Method Not Allowed",
+                          429: "Too Many Requests", 500: "Internal "
+                          "Server Error", 504: "Gateway Timeout"}.get(
+                              status, "Status")
+                writer.write(
+                    f"HTTP/1.1 {status} {reason}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    f"Connection: {'close' if close else 'keep-alive'}"
+                    "\r\n\r\n".encode("latin-1") + payload)
+                await writer.drain()
+                if close:
+                    return
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover - teardown race
+                pass
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._sem = asyncio.Semaphore(self.max_concurrency)
+        self._shutdown = asyncio.Event()
+        self._start_pools()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        if self.port == 0:
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._stop_pools()
+        self._shutdown.set()
+
+    async def run(self, ready=None) -> None:
+        """Start, announce readiness and serve until SIGTERM/SIGINT."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.stop()))
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        if ready is not None:
+            ready(self.host, self.port)
+        await self._shutdown.wait()
+
+
+def serve(db: ShardedDatabase, **kwargs) -> None:
+    """Blocking convenience wrapper: run a `ServeDaemon` until killed."""
+
+    def announce(host: str, port: int) -> None:
+        print(f"serving {db.n_shards} shard(s) on http://{host}:{port} "
+              f"(workers={kwargs.get('workers', 0)})", flush=True)
+
+    daemon = ServeDaemon(db, **kwargs)
+    asyncio.run(daemon.run(ready=announce))

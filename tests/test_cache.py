@@ -194,3 +194,93 @@ class TestSearchBatch:
     def test_result_key_shape(self):
         assert result_key(["a", "b"], "elca", "join") == \
             (("a", "b"), "elca", "join", None)
+
+
+class TestClearAndInvalidate:
+    """`QueryCache.clear` / `invalidate` and their metric contract."""
+
+    def test_lru_remove_is_not_an_eviction(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.remove("a") is True
+        assert cache.remove("a") is False
+        assert cache.stats.evictions == 0
+        assert len(cache) == 0
+
+    def test_clear_empties_both_caches(self, small_db):
+        small_db.search("xml data")
+        qc = small_db.cache
+        assert len(qc.results) > 0
+        qc.clear()
+        assert len(qc.results) == 0 and len(qc.postings) == 0
+        assert qc.results.stats.hits == 0
+        # the next identical query re-evaluates (a miss, not a hit)
+        pairs = small_db.search_batch(["xml data"], with_stats=True)
+        stats = pairs[0][1]
+        assert stats.cache_hits == 0 and stats.cache_misses == 1
+        assert stats.levels_processed > 0
+
+    def test_clear_keeps_request_counters_monotone(self):
+        """Prometheus counters must never go down across a clear."""
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        db = XMLDatabase.from_xml_text(
+            "<r><a>xml data</a><b>xml data</b></r>", metrics=registry)
+        db.search("xml data")
+        db.search("xml data")           # hit
+        counters = registry.snapshot()["counters"]
+        before = sum(v for k, v in counters.items()
+                     if k.startswith("repro_cache_requests_total"))
+        assert before > 0
+        db.cache.clear()
+        counters = registry.snapshot()["counters"]
+        after = sum(v for k, v in counters.items()
+                    if k.startswith("repro_cache_requests_total"))
+        assert after == before          # clear never rewinds a counter
+        db.search("xml data")           # miss after clear
+        counters = registry.snapshot()["counters"]
+        assert sum(v for k, v in counters.items()
+                   if k.startswith("repro_cache_requests_total")) > after
+
+    def test_clear_restarts_hit_ratio_gauge(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        db = XMLDatabase.from_xml_text(
+            "<r><a>xml data</a><b>xml data</b></r>", metrics=registry)
+        db.search("xml data")
+        db.search("xml data")
+        gauge = registry.gauge("repro_cache_hit_ratio",
+                               {"cache": "results"})
+        assert gauge.value > 0.0
+        db.cache.clear()
+        # derived gauge reads the live (fresh) stats, not the dead ones
+        assert gauge.value == 0.0
+
+    def test_invalidate_drops_postings_and_matching_results(self):
+        qc = QueryCache(postings_capacity=8, result_capacity=8)
+        qc.postings.put("xml", "POSTINGS")
+        qc.put_results(result_key(["xml", "data"], "elca", "join"), [])
+        qc.put_results(result_key(["data"], "elca", "join"), [])
+        qc.put_results(result_key(["xml"], "slca", "join", 5), [])
+        dropped = qc.invalidate("xml")
+        assert dropped == 3
+        assert "xml" not in qc.postings
+        assert qc.get_results(result_key(["data"], "elca", "join")) == []
+        assert qc.get_results(
+            result_key(["xml", "data"], "elca", "join")) is None
+
+    def test_invalidate_unknown_term_is_a_noop(self):
+        qc = QueryCache()
+        qc.put_results(result_key(["data"], "elca", "join"), [])
+        assert qc.invalidate("nope") == 0
+        assert qc.get_results(result_key(["data"], "elca", "join")) == []
+
+    def test_invalidated_query_reevaluates(self, small_db):
+        small_db.cache.clear()
+        small_db.search("xml data")
+        small_db.cache.invalidate("xml")
+        pairs = small_db.search_batch(["xml data"], with_stats=True)
+        stats = pairs[0][1]
+        assert stats.cache_misses == 1 and stats.levels_processed > 0

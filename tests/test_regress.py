@@ -238,3 +238,52 @@ class TestPinnedSeeds:
         entry = history_entry(report, sha="c" * 40, env={}, timestamp=1.0)
         for key in ("seed", "workload_seed", "erasure_seed"):
             assert key in entry["config"]
+
+
+class TestSkipReporting:
+    """Newly added guarded ops must be *visibly* skipped, never
+    silently dropped from a PASS verdict."""
+
+    def test_new_op_without_baseline_is_reported_and_passes(self):
+        history = [_entry(p50=10.0) for _ in range(3)]
+        for entry in history[:-1]:          # op exists only in latest
+            del entry["ops"]["serve_daemon_topk"]
+        verdict = check(copy.deepcopy(history))
+        assert verdict.checked and verdict.ok
+        skipped = dict(verdict.skipped)
+        assert "serve_daemon_topk" in skipped
+        assert "seeds its series" in skipped["serve_daemon_topk"]
+        text = verdict.format()
+        assert "PASS" in text
+        assert "serve_daemon_topk: not checked" in text
+
+    def test_op_missing_from_latest_is_reported(self):
+        history = [_entry(p50=10.0) for _ in range(3)]
+        del history[-1]["ops"]["query_cached"]
+        verdict = check(copy.deepcopy(history))
+        assert verdict.ok
+        skipped = dict(verdict.skipped)
+        assert "not measured" in skipped["query_cached"]
+
+    def test_all_ops_skipped_says_so_in_the_headline(self):
+        history = [_entry(p50=10.0) for _ in range(3)]
+        for entry in history[:-1]:
+            entry["ops"] = {}
+        verdict = check(copy.deepcopy(history))
+        assert verdict.checked and verdict.ok
+        assert not verdict.deltas
+        assert "nothing comparable" in verdict.format()
+
+    def test_cli_check_exits_zero_with_skip_message(self, tmp_path,
+                                                    capsys):
+        history = tmp_path / "h.jsonl"
+        entries = [_entry(p50=10.0, ts=float(i)) for i in range(3)]
+        for entry in entries[:-1]:
+            del entry["ops"]["serve_daemon_topk"]
+        with open(history, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry) + "\n")
+        rc = regress.main(["--history", str(history), "--check"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serve_daemon_topk: not checked" in out

@@ -1,0 +1,275 @@
+"""The `repro serve` daemon: endpoint correctness vs. the library,
+admission control (429 queue_full / 504 deadline), metric wiring, and
+the worker-pool evaluation path.
+
+The daemon runs on a private event loop in a background thread with an
+ephemeral port and a private `MetricsRegistry`, so tests are hermetic
+and parallel-safe.  Admission-control edge cases that would be timing
+races over HTTP are driven directly against `_admit` on a scripted
+semaphore instead.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import AdmissionError, ServeDaemon, ShardedDatabase
+
+
+class DaemonHarness:
+    """Run a `ServeDaemon` on its own loop + thread; HTTP helpers."""
+
+    def __init__(self, db, **kwargs):
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("metrics", MetricsRegistry())
+        self.daemon = ServeDaemon(db, **kwargs)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.daemon.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    def __enter__(self):
+        self.thread.start()
+        assert self._ready.wait(10), "daemon failed to start"
+        return self
+
+    def __exit__(self, *exc):
+        asyncio.run_coroutine_threadsafe(self.daemon.stop(),
+                                         self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+    def request(self, path, method="GET"):
+        conn = http.client.HTTPConnection("127.0.0.1", self.daemon.port,
+                                          timeout=30)
+        try:
+            conn.request(method, path)
+            resp = conn.getresponse()
+            body = resp.read().decode("utf-8")
+            return resp.status, body
+        finally:
+            conn.close()
+
+    def get_json(self, path, method="GET"):
+        status, body = self.request(path, method=method)
+        return status, json.loads(body)
+
+
+@pytest.fixture(scope="module")
+def sharded(dblp_db):
+    return ShardedDatabase.from_database(dblp_db, 3)
+
+
+@pytest.fixture(scope="module")
+def harness(sharded):
+    with DaemonHarness(sharded, max_concurrency=4,
+                       queue_limit=8) as h:
+        yield h
+
+
+def payload_ids(body):
+    return [(tuple(r["dewey"]), round(r["score"], 9))
+            for r in body["results"]]
+
+
+def oracle_ids(results):
+    return [(tuple(r.node.dewey), round(r.score, 9)) for r in results]
+
+
+class TestEndpoints:
+    def test_healthz(self, harness):
+        status, body = harness.get_json("/healthz")
+        assert status == 200
+        assert body == {"status": "ok", "shards": 3, "workers": 0}
+
+    def test_topk_matches_library(self, harness, dblp_db):
+        status, body = harness.get_json("/topk?q=alpha+beta&k=7")
+        assert status == 200
+        want = dblp_db.search_topk("alpha beta", 7)
+        assert payload_ids(body) == oracle_ids(want.results)
+        assert body["partial"] == want.partial
+        assert body["cached"] is False
+
+    def test_search_matches_library(self, harness, dblp_db):
+        status, body = harness.get_json("/search?q=cx+cy&semantics=slca")
+        assert status == 200
+        want = dblp_db.search("cx cy", semantics="slca", use_cache=False)
+        assert payload_ids(body) == oracle_ids(want)
+
+    def test_second_call_is_cached(self, harness, dblp_db):
+        harness.get_json("/topk?q=rare+gamma&k=5")
+        status, body = harness.get_json("/topk?q=rare+gamma&k=5")
+        assert status == 200
+        assert body["cached"] is True
+        want = dblp_db.search_topk("rare gamma", 5)
+        assert payload_ids(body) == oracle_ids(want.results)
+
+    def test_bad_requests_are_typed(self, harness):
+        assert harness.get_json("/topk?k=5")[0] == 400
+        assert harness.get_json("/topk?q=alpha&k=zero")[0] == 400
+        assert harness.get_json(
+            "/search?q=alpha&semantics=nope")[0] == 400
+        assert harness.get_json("/nope")[0] == 404
+
+    def test_stats_shape(self, harness):
+        status, body = harness.get_json("/stats")
+        assert status == 200
+        assert body["shards"] == 3
+        assert body["queue_limit"] == 8
+        assert body["manifest"]["strategy"] == "root-child-mod"
+        assert "results" in body["cache"]
+
+    def test_cache_clear_requires_post_and_clears(self, harness):
+        harness.get_json("/topk?q=alpha&k=3")
+        assert harness.get_json("/cache/clear")[0] == 405
+        status, body = harness.get_json("/cache/clear", method="POST")
+        assert status == 200 and body["cleared"] is True
+        assert len(harness.daemon.cache.results) == 0
+
+    def test_metrics_exposition(self, harness):
+        harness.get_json("/topk?q=alpha+beta&k=3")
+        status, text = harness.request("/metrics")
+        assert status == 200
+        assert "repro_serve_queue_depth" in text
+        assert "repro_serve_requests_total" in text
+        assert 'repro_serve_rejects_total{reason="queue_full"}' in text
+        assert 'repro_serve_shard_ms_count{shard="0"}' in text
+        assert "repro_serve_latency_ms_count" in text
+
+
+class TestDeadlineOverHttp:
+    def test_zero_budget_uncached_is_504(self, harness):
+        status, body = harness.get_json(
+            "/topk?q=beta+gamma+rare&k=50&timeout_ms=0")
+        assert status == 504
+        assert body["error"]["type"] == "deadline"
+
+    def test_zero_budget_partial_policy_returns_200_partial(
+            self, harness, dblp_db):
+        status, body = harness.get_json(
+            "/search?q=beta+gamma+rare&timeout_ms=0&partial=1")
+        assert status == 200
+        assert body["partial"] is True
+        full = {tuple(r.node.dewey)
+                for r in dblp_db.search("beta gamma rare",
+                                        use_cache=False)}
+        assert {tuple(r["dewey"]) for r in body["results"]} <= full
+
+    def test_partial_responses_are_not_cached(self, harness):
+        harness.get_json("/search?q=beta+gamma+rare&timeout_ms=0&partial=1")
+        status, body = harness.get_json(
+            "/search?q=beta+gamma+rare&timeout_ms=0&partial=1")
+        assert body["cached"] is False
+
+    def test_cache_hit_is_served_before_admission(self, harness):
+        """A cached answer costs no slot, so it is exempt from the
+        budget: the hit path returns 200 even with a zero budget."""
+        harness.get_json("/topk?q=cx+cy&k=4")     # warm (no budget)
+        status, body = harness.get_json(
+            "/topk?q=cx+cy&k=4&timeout_ms=0")
+        assert status == 200 and body["cached"] is True
+
+
+class TestAdmissionControl:
+    def _daemon(self, sharded, **kwargs):
+        kwargs.setdefault("metrics", MetricsRegistry())
+        return ServeDaemon(sharded, **kwargs)
+
+    def test_queue_full_is_429(self, sharded):
+        daemon = self._daemon(sharded, max_concurrency=1, queue_limit=1)
+
+        async def scenario():
+            daemon._sem = asyncio.Semaphore(1)
+            await daemon._sem.acquire()          # occupy the only slot
+            waiter = asyncio.ensure_future(daemon._admit(None))
+            await asyncio.sleep(0.01)            # waiter fills the queue
+            with pytest.raises(AdmissionError) as excinfo:
+                await daemon._admit(None)
+            assert excinfo.value.status == 429
+            assert excinfo.value.reason == "queue_full"
+            daemon._sem.release()
+            await waiter                         # first waiter admitted
+            assert daemon._waiting == 0
+
+        asyncio.run(scenario())
+        rejects = daemon.metrics.counter("repro_serve_rejects_total",
+                                         {"reason": "queue_full"})
+        assert rejects.value == 1
+
+    def test_deadline_expiry_in_queue_is_504(self, sharded):
+        from repro.reliability.deadline import Deadline
+
+        daemon = self._daemon(sharded, max_concurrency=1, queue_limit=4)
+
+        async def scenario():
+            daemon._sem = asyncio.Semaphore(1)
+            await daemon._sem.acquire()          # never released
+            with pytest.raises(AdmissionError) as excinfo:
+                await daemon._admit(Deadline(timeout_ms=5.0))
+            assert excinfo.value.status == 504
+            assert excinfo.value.reason == "deadline"
+            assert daemon._waiting == 0
+
+        asyncio.run(scenario())
+        rejects = daemon.metrics.counter("repro_serve_rejects_total",
+                                         {"reason": "deadline"})
+        assert rejects.value == 1
+
+    def test_queue_depth_returns_to_zero(self, harness):
+        for _ in range(3):
+            harness.get_json("/topk?q=alpha&k=2")
+        gauge = harness.daemon.metrics.gauge("repro_serve_queue_depth")
+        assert gauge.value == 0
+        inflight = harness.daemon.metrics.gauge("repro_serve_inflight")
+        assert inflight.value == 0
+
+    def test_concurrent_burst_all_accounted(self, harness):
+        """A concurrent burst larger than max_concurrency: every
+        request gets a typed response (200 or 429/504), and the queue
+        drains back to zero."""
+        statuses = []
+        lock = threading.Lock()
+
+        def fire(i):
+            status, _body = harness.get_json(
+                f"/topk?q=beta+gamma&k=5&timeout_ms=5000&x={i}")
+            with lock:
+                statuses.append(status)
+
+        threads = [threading.Thread(target=fire, args=(i,))
+                   for i in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert len(statuses) == 12
+        assert all(s in (200, 429, 504) for s in statuses)
+        assert statuses.count(200) >= 1
+        assert harness.daemon.metrics.gauge(
+            "repro_serve_queue_depth").value == 0
+
+
+class TestWorkerPools:
+    def test_workers_pool_path_matches_oracle(self, sharded, dblp_db):
+        with DaemonHarness(sharded, workers=1, max_concurrency=2) as h:
+            status, body = h.get_json("/topk?q=alpha+beta&k=6")
+            assert status == 200
+            want = dblp_db.search_topk("alpha beta", 6)
+            assert payload_ids(body) == oracle_ids(want.results)
+            status, body = h.get_json("/search?q=rare+gamma")
+            assert status == 200
+            want = dblp_db.search("rare gamma", use_cache=False)
+            assert payload_ids(body) == oracle_ids(want)
+            # fan-out latency histograms saw every shard that ran
+            text = h.request("/metrics")[1]
+            assert 'repro_serve_shard_ms_count{shard="0"}' in text
