@@ -7,9 +7,17 @@ asserts the serving invariants:
 
 * admission / deadline / fan-out instruments are all present,
 * the workload produced requests and at least one cache-driven rerun,
-* queue-depth and inflight gauges returned to 0.
+* queue-depth and inflight gauges returned to 0,
+* the daemon left its observability trail: one access-log JSONL record
+  per request (shed/timed-out ones included), retained stitched traces
+  behind ``/debug/traces``, trace-id exemplars on the latency
+  histogram, and an ``/slo`` burn-rate report.
 
-Exits non-zero (with the offending metric text) on any violation::
+The access log (``access-log-ci.jsonl``), trace log
+(``trace-log-ci.jsonl``) and SLO report (``slo-report-ci.json``) are
+written to the working directory so the CI job can upload them as
+artifacts.  Exits non-zero (with the offending metric text) on any
+violation::
 
     PYTHONPATH=src python benchmarks/serve_ci_smoke.py
 """
@@ -30,6 +38,9 @@ HOST = "127.0.0.1"
 PORT = int(os.environ.get("REPRO_SERVE_SMOKE_PORT", "18473"))
 QUERIES = ["w00000 w00001", "author00000", "w00002 w00000",
            "w00001 author00001", "w00003"]
+ACCESS_LOG = "access-log-ci.jsonl"
+TRACE_LOG = "trace-log-ci.jsonl"
+SLO_REPORT = "slo-report-ci.json"
 
 
 def wait_healthy(timeout_s: float = 30.0) -> None:
@@ -92,6 +103,22 @@ def scrape_metrics() -> str:
         return resp.read().decode("utf-8")
 
 
+def fetch_json(path: str) -> dict:
+    with urllib.request.urlopen(
+            f"http://{HOST}:{PORT}{path}", timeout=5) as resp:
+        return json.loads(resp.read())
+
+
+def read_jsonl(path: str) -> list:
+    out = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
 def gauge_value(text: str, name: str) -> float:
     match = re.search(rf"^{name} ([0-9.eE+-]+)$", text, re.M)
     assert match, f"{name} missing from /metrics"
@@ -101,6 +128,9 @@ def gauge_value(text: str, name: str) -> float:
 def main() -> int:
     env = dict(os.environ)
     env.setdefault("PYTHONPATH", "src")
+    for stale in (ACCESS_LOG, TRACE_LOG, SLO_REPORT):
+        if os.path.exists(stale):
+            os.unlink(stale)
     with tempfile.TemporaryDirectory(prefix="repro-serve-ci-") as tmp:
         db_dir = os.path.join(tmp, "db")
         subprocess.run(
@@ -110,12 +140,15 @@ def main() -> int:
         daemon = subprocess.Popen(
             [sys.executable, "-m", "repro", "serve", db_dir,
              "--port", str(PORT), "--workers", "0",
-             "--max-concurrency", "4", "--queue-limit", "16"],
+             "--max-concurrency", "4", "--queue-limit", "16",
+             "--access-log", ACCESS_LOG, "--trace-log", TRACE_LOG],
             env=env)
         try:
             wait_healthy()
             outcome = fire_workload()
             text = scrape_metrics()
+            slo = fetch_json("/slo")
+            traces = fetch_json("/debug/traces?limit=10")
         finally:
             daemon.terminate()
             daemon.wait(timeout=30)
@@ -144,9 +177,43 @@ def main() -> int:
     assert gauge_value(text, "repro_serve_queue_depth") == 0.0
     assert gauge_value(text, "repro_serve_inflight") == 0.0
 
+    # observability trail: one access record per response (the extra
+    # malformed probe logs a 400 too), matching the statuses seen
+    records = read_jsonl(ACCESS_LOG)
+    assert len(records) >= len(statuses), \
+        f"access log has {len(records)} records for {len(statuses)} responses"
+    logged = [r["status"] for r in records]
+    for status in set(statuses):
+        assert status in logged, f"status {status} never access-logged"
+    assert any(r["status"] == 400 for r in records), \
+        "bad request missing from access log"
+    assert all(r["trace_id"] for r in records), \
+        "access record without a trace id"
+
+    # stitched traces: retained in the store and mirrored to JSONL
+    assert traces["retained"] > 0 and traces["traces"], \
+        "no stitched traces retained"
+    mirrored = read_jsonl(TRACE_LOG)
+    assert mirrored and all(t["root"]["name"] == "request"
+                            for t in mirrored)
+
+    # latency exemplars link histogram buckets back to trace ids
+    assert re.search(
+        r'repro_serve_latency_ms_bucket\{[^}]*\} \d+ # \{trace_id="',
+        text), "no trace-id exemplar on the latency histogram"
+
+    # SLO report: every response accounted for, schema stable
+    assert slo["schema"] == "repro.obs.slo/v1", slo.get("schema")
+    assert slo["lifetime"]["requests"] >= len(statuses)
+    with open(SLO_REPORT, "w", encoding="utf-8") as handle:
+        json.dump(slo, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
     print(f"serve smoke ok: {len(statuses)} responses "
           f"({statuses.count(200)} ok, {statuses.count(429)} shed, "
-          f"{statuses.count(504)} deadline)")
+          f"{statuses.count(504)} deadline); "
+          f"{len(records)} access records, {traces['retained']} traces "
+          f"retained, SLO report -> {SLO_REPORT}")
     return 0
 
 

@@ -62,6 +62,13 @@ GUARDED_OPS = (
     # above and the two series can never fail each other's checks.
     "serve_daemon_topk",
     "serve_baseline_topk",
+    # Observability-PR additions to the serve series: the daemon p50
+    # with tracing + access log on, and the microbenchmarked
+    # per-request observability tail (stitch + sample + store + log +
+    # SLO record) -- the latter is microsecond-stable, so a regression
+    # in the observability code itself fails the gate directly.
+    "serve_daemon_topk_traced",
+    "serve_obs_tail",
 )
 
 

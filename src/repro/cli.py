@@ -11,6 +11,8 @@
     python -m repro serve mydb/ --workers 2          # HTTP daemon
     python -m repro info mydb/
     python -m repro trace mydb/ "xml data" --out trace.jsonl
+    python -m repro trace --from-log access.jsonl --trace-id abc123
+    python -m repro slo http://127.0.0.1:8388     # or: slo access.jsonl
     python -m repro audit mydb/ "xml data" --shadow sampled
     python -m repro metrics mydb/ --query "xml data" --prometheus
     python -m repro regress --append BENCH_hotpath.json --check
@@ -231,12 +233,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
             return 1
     else:
         db = ShardedDatabase.from_database(db, args.shards or 1)
+    from .obs import SLOConfig
+
     serve(db, host=args.host, port=args.port, workers=args.workers,
           max_concurrency=args.max_concurrency,
           queue_limit=args.queue_limit,
           default_timeout_ms=args.timeout_ms,
           default_partial=args.partial,
-          result_cache_size=args.result_cache_size)
+          result_cache_size=args.result_cache_size,
+          tracing=not args.no_tracing,
+          access_log_path=args.access_log,
+          trace_log_path=args.trace_log,
+          slow_ms=args.slow_ms,
+          tail_slow_ms=args.tail_slow_ms,
+          tail_sample_rate=args.tail_sample_rate,
+          slo_config=SLOConfig(
+              availability_target=args.slo_availability,
+              latency_target_ms=args.slo_latency_ms))
     return 0
 
 
@@ -346,9 +359,47 @@ def cmd_regress(args: argparse.Namespace) -> int:
     return regress_main(argv)
 
 
+def _trace_from_log(path: str, trace_id: Optional[str]) -> int:
+    """Render daemon trace/access JSONL: stitched traces as span trees,
+    access-log entries as one-line summaries."""
+    from .obs import format_access_record, read_jsonl, render_stitched
+
+    if not os.path.exists(path):
+        print(f"error: no such log file: {path}", file=sys.stderr)
+        return EXIT_MISSING
+    matched = 0
+    for entry in read_jsonl(path):
+        if trace_id is not None and entry.get("trace_id") != trace_id:
+            continue
+        if "root" in entry:  # stitched trace line (--trace-log)
+            if matched:
+                print()
+            print(render_stitched(entry))
+            matched += 1
+        elif "status" in entry:  # access-log record (--access-log)
+            print(format_access_record(entry))
+            matched += 1
+    if not matched:
+        what = (f"trace {trace_id}" if trace_id is not None
+                else "traces or access-log records")
+        print(f"no {what} found in {path}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from .obs import Tracer, render_trace, trace_to_jsonl
 
+    if args.from_log is not None:
+        return _trace_from_log(args.from_log, args.trace_id)
+    if args.trace_id is not None:
+        print("error: --trace-id needs --from-log FILE (a daemon "
+              "access/trace JSONL)", file=sys.stderr)
+        return 2
+    if args.database is None or args.query is None:
+        print("error: database and query are required unless reading a "
+              "log with --from-log", file=sys.stderr)
+        return 2
     db = _load(args.database)
     tracer = Tracer()
     db.tracer = tracer
@@ -385,6 +436,44 @@ def cmd_trace(args: argparse.Namespace) -> int:
         record = db.slow_log.records()[-1]
         print(f"slow query (>= {db.slow_log.threshold_ms:.0f} ms): "
               f"{' '.join(record.terms)} took {record.elapsed_ms:.1f} ms")
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """SLO report from a live daemon (URL) or an access log (JSONL)."""
+    import json
+
+    from .obs import (SLOConfig, format_slo_report, read_jsonl,
+                      report_from_records)
+
+    target = args.target
+    if target.startswith(("http://", "https://")):
+        import urllib.request
+
+        url = target.rstrip("/")
+        if not url.endswith("/slo"):
+            url += "/slo"
+        try:
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                report = json.load(resp)
+        except OSError as exc:
+            print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        if not os.path.exists(target):
+            print(f"error: no such access log: {target}", file=sys.stderr)
+            return EXIT_MISSING
+        config = SLOConfig(
+            availability_target=args.availability_target,
+            latency_target_ms=args.latency_target_ms,
+            latency_target_ratio=args.latency_target_ratio)
+        report = report_from_records(read_jsonl(target), config)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_slo_report(report))
+    if args.fail_on_alert and report.get("alerts"):
+        return 1
     return 0
 
 
@@ -525,6 +614,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eager", action="store_true",
                    help="fully materialize the database at load "
                         "instead of the lazy mmap-backed mode")
+    p.add_argument("--no-tracing", action="store_true",
+                   help="disable distributed trace collection (access "
+                        "log and SLO tracking stay on)")
+    p.add_argument("--access-log", default=None, metavar="PATH",
+                   help="append one JSONL record per request here")
+    p.add_argument("--trace-log", default=None, metavar="PATH",
+                   help="append retained stitched traces as JSONL here")
+    p.add_argument("--slow-ms", type=float, default=None,
+                   help="record served requests over this wall time in "
+                        "the daemon slow-query log")
+    p.add_argument("--tail-slow-ms", type=float, default=250.0,
+                   help="tail sampling: always retain traces at or "
+                        "above this latency")
+    p.add_argument("--tail-sample-rate", type=float, default=1.0,
+                   help="retention probability for fast, healthy "
+                        "traces (outliers are always kept)")
+    p.add_argument("--slo-availability", type=float, default=0.999,
+                   help="availability objective for /slo burn rates")
+    p.add_argument("--slo-latency-ms", type=float, default=250.0,
+                   help="latency objective for /slo burn rates")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("info", help="database statistics and index sizes")
@@ -607,9 +716,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_regress)
 
     p = sub.add_parser("trace",
-                       help="run one traced query; print the span tree")
-    p.add_argument("database")
-    p.add_argument("query")
+                       help="run one traced query (span tree), or "
+                            "render daemon trace/access JSONL with "
+                            "--from-log")
+    p.add_argument("database", nargs="?", default=None)
+    p.add_argument("query", nargs="?", default=None)
     p.add_argument("-k", type=int, default=None,
                    help="trace a top-K search instead of a complete one")
     p.add_argument("--semantics", choices=("elca", "slca"),
@@ -622,7 +733,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the Prometheus text exposition")
     p.add_argument("--slow-ms", type=float, default=None,
                    help="slow-query threshold; report if exceeded")
+    p.add_argument("--from-log", default=None, metavar="FILE",
+                   help="read a daemon --trace-log / --access-log JSONL "
+                        "instead of running a query; stitched traces "
+                        "render as per-shard span trees")
+    p.add_argument("--trace-id", default=None,
+                   help="with --from-log: only entries for this trace")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("slo",
+                       help="SLO burn-rate report from a daemon URL "
+                            "(GET /slo) or an access-log JSONL file")
+    p.add_argument("target",
+                   help="http(s)://host:port of a live daemon, or the "
+                        "path of an access-log JSONL")
+    p.add_argument("--availability-target", type=float, default=0.999,
+                   help="offline reports: availability objective")
+    p.add_argument("--latency-target-ms", type=float, default=250.0,
+                   help="offline reports: latency objective (ms)")
+    p.add_argument("--latency-target-ratio", type=float, default=0.99,
+                   help="offline reports: fraction of 200s that must "
+                        "beat the latency objective")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw report JSON")
+    p.add_argument("--fail-on-alert", action="store_true",
+                   help="exit 1 if any objective burns faster than "
+                        "budget (CI gating)")
+    p.set_defaults(fn=cmd_slo)
 
     p = sub.add_parser("bench",
                        help="regenerate the paper's tables and figures")
@@ -652,6 +789,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Reader went away mid-stream (e.g. `repro trace ... | head`).
+        # Redirect stdout so the interpreter's exit flush doesn't raise
+        # a second time, and exit the way Unix filters do.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 128 + 13
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,8 +28,15 @@ Two further instruments added by the plan-quality PR:
 
 from .audit import (AuditingJoinPlanner, JoinObservation, LevelAudit,
                     PlanAudit, PlanAuditor, audit_query, q_error)
+from .distributed import (TRACE_WIRE_VERSION, AccessLog, TailSampler,
+                          TraceContext, TraceStore, count_spans,
+                          format_access_record, make_span, new_trace_id,
+                          read_jsonl, render_stitched, span_to_wire,
+                          stitch_trace)
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, get_registry)
+from .slo import (DEFAULT_WINDOWS_S, SLO_SCHEMA, SLOConfig, SLOTracker,
+                  format_slo_report, report_from_records)
 from .profiler import (NULL_PROFILER, PHASES, NullPhaseProfiler,
                        PhaseProfiler, QueryProfile, SamplingProfiler,
                        active_profile, profile_phase)
@@ -38,9 +45,11 @@ from .tracing import (NULL_TRACER, NullTracer, Span, Tracer, render_trace,
                       spans_per_level_plan, trace_to_jsonl)
 
 __all__ = [
+    "AccessLog",
     "AuditingJoinPlanner",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_WINDOWS_S",
     "Gauge",
     "Histogram",
     "JoinObservation",
@@ -55,17 +64,34 @@ __all__ = [
     "PlanAudit",
     "PlanAuditor",
     "QueryProfile",
+    "SLOConfig",
+    "SLOTracker",
+    "SLO_SCHEMA",
     "SamplingProfiler",
     "SlowQueryLog",
     "SlowQueryRecord",
     "Span",
+    "TRACE_WIRE_VERSION",
+    "TailSampler",
+    "TraceContext",
+    "TraceStore",
     "Tracer",
     "active_profile",
     "audit_query",
+    "count_spans",
+    "format_access_record",
+    "format_slo_report",
     "get_registry",
+    "make_span",
+    "new_trace_id",
     "profile_phase",
     "q_error",
+    "read_jsonl",
+    "render_stitched",
     "render_trace",
+    "report_from_records",
+    "span_to_wire",
     "spans_per_level_plan",
+    "stitch_trace",
     "trace_to_jsonl",
 ]

@@ -147,7 +147,8 @@ class Histogram:
     """
 
     __slots__ = ("bounds", "bucket_counts", "count", "total",
-                 "_reservoir", "_reservoir_size", "_rng", "_lock")
+                 "_reservoir", "_reservoir_size", "_rng", "_lock",
+                 "_exemplars")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS,
                  reservoir_size: int = 512, seed: int = 0x5EED):
@@ -159,11 +160,18 @@ class Histogram:
         self._reservoir_size = int(reservoir_size)
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
+        # bucket index -> (value, trace_id): the most recent exemplar
+        # that landed in the bucket, linking the histogram back to a
+        # concrete trace (OpenMetrics exemplar semantics).
+        self._exemplars: Dict[int, Tuple[float, str]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         value = float(value)
         with self._lock:
-            self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+            index = bisect.bisect_left(self.bounds, value)
+            self.bucket_counts[index] += 1
+            if exemplar is not None:
+                self._exemplars[index] = (value, str(exemplar))
             self.count += 1
             self.total += value
             if len(self._reservoir) < self._reservoir_size:
@@ -172,6 +180,18 @@ class Histogram:
                 slot = self._rng.randrange(self.count)
                 if slot < self._reservoir_size:
                     self._reservoir[slot] = value
+
+    def _bound_name(self, index: int) -> str:
+        return (f"{self.bounds[index]:g}" if index < len(self.bounds)
+                else "+Inf")
+
+    def exemplars(self) -> Dict[str, Dict[str, Any]]:
+        """Per-bucket exemplars keyed by upper bound: the trace id of
+        the last observation recorded into that bucket."""
+        with self._lock:
+            items = dict(self._exemplars)
+        return {self._bound_name(i): {"value": v, "trace_id": t}
+                for i, (v, t) in sorted(items.items())}
 
     def percentile(self, p: float) -> float:
         """Estimated p-th percentile (0 < p <= 100) from the reservoir."""
@@ -193,7 +213,7 @@ class Histogram:
             running += n
             cumulative[f"{bound:g}"] = running
         cumulative["+Inf"] = count
-        return {
+        out = {
             "count": count,
             "sum": total,
             "mean": (total / count) if count else 0.0,
@@ -202,6 +222,10 @@ class Histogram:
             "p99": self.percentile(99),
             "buckets": cumulative,
         }
+        exemplars = self.exemplars()
+        if exemplars:  # key omitted when unused: snapshots stay stable
+            out["exemplars"] = exemplars
+        return out
 
 
 class MetricsRegistry:
@@ -291,10 +315,17 @@ class MetricsRegistry:
         for (name, labels), histogram in histograms:
             type_line(name, "histogram")
             data = histogram.as_dict()
+            exemplars = data.get("exemplars", {})
             for bound, cumulative in data["buckets"].items():
                 bucket_labels = labels + (("le", bound),)
-                lines.append(f"{name}_bucket{_label_suffix(bucket_labels)} "
-                             f"{cumulative}")
+                line = (f"{name}_bucket{_label_suffix(bucket_labels)} "
+                        f"{cumulative}")
+                exemplar = exemplars.get(bound)
+                if exemplar is not None:
+                    # OpenMetrics exemplar: `# {trace_id="..."} value`
+                    line += (f' # {{trace_id="{exemplar["trace_id"]}"}}'
+                             f' {exemplar["value"]:g}')
+                lines.append(line)
             lines.append(f"{name}_sum{_label_suffix(labels)} "
                          f"{data['sum']:g}")
             lines.append(f"{name}_count{_label_suffix(labels)} "

@@ -1,0 +1,245 @@
+"""Rolling SLO tracking with multi-window burn rates.
+
+Two objectives over the daemon's request stream, in the SRE workbook
+shape:
+
+* **availability** -- fraction of requests that did not fail.  A
+  request is *bad* when the daemon answered 5xx (internal error) or
+  504 (deadline exhausted).  429 sheds are *excluded* from the error
+  budget by design: admission control rejecting work it chose not to
+  accept is the overload policy working, not the service failing --
+  they are still counted and reported (`shed`) so capacity problems
+  stay visible.
+* **latency** -- fraction of successful (200) requests answered under
+  ``latency_target_ms``.
+
+Each objective is evaluated over several rolling windows at once
+(default 1 min / 5 min / 1 h) and reported as a **burn rate**: the
+ratio of the observed bad fraction to the budgeted bad fraction
+(``1 - target``).  Burn rate 1.0 means the error budget is being spent
+exactly as fast as it accrues; a classic fast-burn alert is "short
+*and* long window both well above 1", which is why the windows are
+computed together -- `report()` emits an ``alerts`` list for any
+objective/window pair burning faster than ``alert_burn_rate``.
+
+Events are aggregated into per-second buckets (bounded by the longest
+window), so the tracker's memory is O(window seconds), not O(requests).
+The clock is injectable for tests, and `report_from_records` rebuilds
+the same report offline from access-log JSONL records
+(`repro slo <access-log.jsonl>`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+SLO_SCHEMA = "repro.obs.slo/v1"
+
+DEFAULT_WINDOWS_S: Tuple[float, ...] = (60.0, 300.0, 3600.0)
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """The objectives and the windows they are judged over."""
+
+    availability_target: float = 0.999
+    latency_target_ms: float = 250.0
+    #: fraction of successful requests that must beat `latency_target_ms`
+    latency_target_ratio: float = 0.99
+    windows_s: Tuple[float, ...] = DEFAULT_WINDOWS_S
+    #: burn rates above this show up in the report's ``alerts`` list
+    alert_burn_rate: float = 1.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "availability_target": self.availability_target,
+            "latency_target_ms": self.latency_target_ms,
+            "latency_target_ratio": self.latency_target_ratio,
+            "windows_s": list(self.windows_s),
+            "alert_burn_rate": self.alert_burn_rate,
+        }
+
+
+class _Bucket:
+    __slots__ = ("total", "bad", "shed", "good", "slow")
+
+    def __init__(self) -> None:
+        self.total = 0   # every terminal response
+        self.bad = 0     # 5xx + 504: spends availability budget
+        self.shed = 0    # 429: policy, reported but not budgeted
+        self.good = 0    # 200s: the latency objective's denominator
+        self.slow = 0    # 200s over the latency target
+
+
+def _classify(status: int) -> str:
+    if status == 429:
+        return "shed"
+    if status == 504 or status >= 500:
+        return "bad"
+    return "ok"
+
+
+class SLOTracker:
+    """Per-second aggregation of request outcomes + burn-rate reports.
+
+    The daemon calls `record` once per terminal response; `report`
+    is what ``/slo`` serves.  ``clock`` must be monotonic-ish within a
+    tracker's lifetime (tests inject a fake; the offline builder feeds
+    wall timestamps through `ingest`).
+    """
+
+    def __init__(self, config: Optional[SLOConfig] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config or SLOConfig()
+        self._clock = clock
+        self._buckets: Dict[int, _Bucket] = {}
+        self._max_window = max(self.config.windows_s)
+        self.lifetime = _Bucket()
+
+    def record(self, status: int, elapsed_ms: float) -> None:
+        self.ingest(self._clock(), status, elapsed_ms)
+
+    def ingest(self, when: float, status: int, elapsed_ms: float) -> None:
+        """Record one response at an explicit timestamp."""
+        second = int(when)
+        bucket = self._buckets.get(second)
+        if bucket is None:
+            bucket = self._buckets[second] = _Bucket()
+            self._prune(when)
+        kind = _classify(status)
+        for b in (bucket, self.lifetime):
+            b.total += 1
+            if kind == "bad":
+                b.bad += 1
+            elif kind == "shed":
+                b.shed += 1
+            else:
+                b.good += 1
+                if elapsed_ms > self.config.latency_target_ms:
+                    b.slow += 1
+
+    def _prune(self, now: float) -> None:
+        horizon = int(now - self._max_window) - 1
+        stale = [s for s in self._buckets if s < horizon]
+        for s in stale:
+            del self._buckets[s]
+
+    def _window_counts(self, now: float, window_s: float) -> _Bucket:
+        out = _Bucket()
+        lo = now - window_s
+        for second, bucket in self._buckets.items():
+            if second + 1 > lo:  # bucket overlaps (now - window, now]
+                out.total += bucket.total
+                out.bad += bucket.bad
+                out.shed += bucket.shed
+                out.good += bucket.good
+                out.slow += bucket.slow
+        return out
+
+    def report(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """The ``/slo`` payload: per-window compliance + burn rates."""
+        now = self._clock() if now is None else now
+        cfg = self.config
+        avail_budget = max(1e-9, 1.0 - cfg.availability_target)
+        lat_budget = max(1e-9, 1.0 - cfg.latency_target_ratio)
+        windows: Dict[str, Dict[str, Any]] = {}
+        alerts: List[Dict[str, Any]] = []
+        for window_s in cfg.windows_s:
+            counts = self._window_counts(now, window_s)
+            budgeted = counts.total - counts.shed  # sheds spend no budget
+            bad_ratio = counts.bad / budgeted if budgeted else 0.0
+            slow_ratio = counts.slow / counts.good if counts.good else 0.0
+            entry = {
+                "requests": counts.total,
+                "bad": counts.bad,
+                "shed": counts.shed,
+                "good": counts.good,
+                "slow": counts.slow,
+                "availability": 1.0 - bad_ratio,
+                "availability_burn_rate": bad_ratio / avail_budget,
+                "latency_compliance": 1.0 - slow_ratio,
+                "latency_burn_rate": slow_ratio / lat_budget,
+            }
+            key = f"{window_s:g}s"
+            windows[key] = entry
+            for objective, burn in (
+                    ("availability", entry["availability_burn_rate"]),
+                    ("latency", entry["latency_burn_rate"])):
+                if burn > cfg.alert_burn_rate:
+                    alerts.append({"objective": objective, "window": key,
+                                   "burn_rate": round(burn, 4)})
+        return {
+            "schema": SLO_SCHEMA,
+            "config": cfg.as_dict(),
+            "lifetime": {
+                "requests": self.lifetime.total,
+                "bad": self.lifetime.bad,
+                "shed": self.lifetime.shed,
+                "good": self.lifetime.good,
+                "slow": self.lifetime.slow,
+            },
+            "windows": windows,
+            "alerts": alerts,
+        }
+
+
+def report_from_records(records: Iterable[Dict[str, Any]],
+                        config: Optional[SLOConfig] = None
+                        ) -> Dict[str, Any]:
+    """The same report, rebuilt offline from access-log records.
+
+    Windows are anchored at the newest record's ``wall_time`` (the
+    "now" of the log), so a log analysed hours later reports what the
+    daemon would have reported at its last request.
+    """
+    rows: List[Tuple[float, int, float]] = []
+    for rec in records:
+        status = rec.get("status")
+        if status is None:
+            continue
+        rows.append((float(rec.get("wall_time") or 0.0), int(status),
+                     float(rec.get("elapsed_ms") or 0.0)))
+    rows.sort(key=lambda row: row[0])
+    anchor = rows[-1][0] if rows else 0.0
+    tracker = SLOTracker(config, clock=lambda: anchor)
+    for when, status, elapsed_ms in rows:
+        tracker.ingest(when, status, elapsed_ms)
+    return tracker.report(now=anchor)
+
+
+def format_slo_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering for `repro slo`."""
+    cfg = report.get("config", {})
+    life = report.get("lifetime", {})
+    lines = [
+        f"SLO report ({report.get('schema', SLO_SCHEMA)})",
+        f"  objectives: availability >= {cfg.get('availability_target')}"
+        f" (5xx/504 spend budget; 429 sheds excluded),",
+        f"              latency p{100 * cfg.get('latency_target_ratio', 0):g}"
+        f" <= {cfg.get('latency_target_ms')} ms over 200s",
+        f"  lifetime: {life.get('requests', 0)} requests"
+        f" ({life.get('good', 0)} ok, {life.get('bad', 0)} bad,"
+        f" {life.get('shed', 0)} shed, {life.get('slow', 0)} slow)",
+        "",
+        f"  {'window':>8}  {'req':>6}  {'avail':>8}  {'burn':>8}  "
+        f"{'lat-comp':>8}  {'burn':>8}",
+    ]
+    for key, win in report.get("windows", {}).items():
+        lines.append(
+            f"  {key:>8}  {win.get('requests', 0):>6}  "
+            f"{win.get('availability', 1.0):>8.5f}  "
+            f"{win.get('availability_burn_rate', 0.0):>8.2f}  "
+            f"{win.get('latency_compliance', 1.0):>8.5f}  "
+            f"{win.get('latency_burn_rate', 0.0):>8.2f}")
+    alerts = report.get("alerts", [])
+    if alerts:
+        lines.append("")
+        for alert in alerts:
+            lines.append(f"  ALERT {alert['objective']}: burn rate "
+                         f"{alert['burn_rate']} over {alert['window']}")
+    else:
+        lines.append("")
+        lines.append("  no objective burning faster than budget")
+    return "\n".join(lines)

@@ -84,15 +84,26 @@ class SlowQueryLog:
                      k: Optional[int] = None,
                      stats: Optional[Dict[str, Any]] = None,
                      trace_root: Optional[Span] = None,
-                     phases: Optional[Dict[str, float]] = None) -> bool:
-        """Record the query if it crossed the threshold; True if kept."""
+                     phases: Optional[Dict[str, float]] = None,
+                     trace_dict: Optional[Dict[str, Any]] = None) -> bool:
+        """Record the query if it crossed the threshold; True if kept.
+
+        ``trace_dict`` accepts an already-serialized span tree (the
+        daemon's stitched cross-process traces are dicts, never `Span`
+        objects) and wins over ``trace_root`` when both are given.
+        """
         if elapsed_ms < self.threshold_ms:
             return False
+        if trace_dict is not None:
+            trace = trace_dict
+        else:
+            trace = (trace_root.to_dict()
+                     if trace_root is not None else None)
         record = SlowQueryRecord(
             terms=list(terms), semantics=semantics, algorithm=algorithm,
             k=k, elapsed_ms=float(elapsed_ms),
             stats=dict(stats) if stats else {},
-            trace=trace_root.to_dict() if trace_root is not None else None,
+            trace=trace,
             wall_time=time.time(),
             phases=dict(phases) if phases else None)
         with self._lock:

@@ -259,6 +259,8 @@ def _jsonable(tags: Dict[str, Any]) -> Dict[str, Any]:
             out[key] = value
         elif isinstance(value, (list, tuple)):
             out[key] = [_jsonable({"v": v})["v"] for v in value]
+        elif isinstance(value, dict):
+            out[key] = _jsonable(value)
         else:
             out[key] = str(value)
     return out

@@ -38,14 +38,21 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import re
 import signal
 import time
 import urllib.parse
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms.base import ELCA, SEMANTICS, SearchResult
 from ..cache import QueryCache, result_key
+from ..obs.distributed import (AccessLog, TailSampler, TraceContext,
+                               TraceStore, stitch_trace)
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.slo import SLOConfig, SLOTracker
+from ..obs.slowlog import SlowQueryLog
+from ..obs.tracing import NULL_TRACER, Tracer
 from ..reliability.deadline import Deadline
 from ..reliability.errors import DeadlineExceeded
 from .merge import ShardedDatabase
@@ -55,6 +62,70 @@ from .merge import ShardedDatabase
 #: created -- fork happens lazily on first submit, and a worker that
 #: forked before the dict was full would serve the wrong world.
 _SERVE_DBS: Dict[int, object] = {}
+
+#: Worker-process-local state for metric shipping.  A forked worker
+#: inherits the parent registry's pre-fork counter values copy-on-write;
+#: shipping those verbatim would double-count everything the parent
+#: recorded before the fork.  The first task a worker runs snapshots
+#: the inherited counters as a baseline, and every response ships the
+#: cumulative *delta* since that baseline, keyed by pid so the parent
+#: can keep latest-per-worker and sum per shard.
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _worker_baseline(db) -> None:
+    pid = os.getpid()
+    if _WORKER_STATE.get("pid") != pid:
+        _WORKER_STATE["pid"] = pid
+        _WORKER_STATE["baseline"] = dict(
+            db.metrics.snapshot()["counters"])
+
+
+def _worker_counter_deltas(db) -> Dict[str, float]:
+    """Shard-local counter growth since this worker process forked."""
+    base = _WORKER_STATE.get("baseline") or {}
+    out: Dict[str, float] = {}
+    for key, value in db.metrics.snapshot()["counters"].items():
+        delta = value - base.get(key, 0.0)
+        if delta > 0:
+            out[key] = delta
+    return out
+
+
+def _worker_publish(db, endpoint: str, stats, partial: bool) -> None:
+    """Record shard-local counters into the worker's (inherited)
+    registry.  These never reach a scrape directly -- the worker has no
+    HTTP endpoint -- they ride back to the parent as deltas and surface
+    as ``repro_worker_*{shard=...}`` on the daemon's ``/metrics``."""
+    reg = db.metrics
+    reg.counter("repro_shard_requests_total",
+                {"endpoint": endpoint}).inc()
+    if stats is not None:
+        if stats.tuples_scanned:
+            reg.counter("repro_shard_tuples_scanned_total").inc(
+                stats.tuples_scanned)
+        if stats.cache_hits:
+            reg.counter("repro_shard_cache_hits_total").inc(
+                stats.cache_hits)
+    if partial:
+        reg.counter("repro_shard_deadline_partials_total").inc()
+
+
+def _shard_extra(db, tracer, stats) -> Dict[str, Any]:
+    """The observability sidecar shipped back with a shard response:
+    the worker's span tree (wire dict form), the engine's retrieval
+    counters, and the worker metric deltas."""
+    root = tracer.last_root() if tracer.enabled else None
+    extra: Dict[str, Any] = {
+        "pid": os.getpid(),
+        "trace": root.to_dict() if root is not None else None,
+        "counters": _worker_counter_deltas(db),
+    }
+    if stats is not None:
+        extra["retrievals"] = stats.tuples_scanned
+        extra["emitted"] = stats.results_emitted
+        extra["levels"] = stats.levels_processed
+    return extra
 
 
 class AdmissionError(Exception):
@@ -80,24 +151,41 @@ def _serve_shard_topk(payload):
     Evaluates ``k+1`` shard-locally (one slot covers the dropped
     shard-local root) and ships light tuples plus the stream outcome;
     exceptions return as values so one shard cannot lose the gather.
+    When the payload carries a sampled `TraceContext`, the engine runs
+    under a worker-local `Tracer` and the span tree travels back in the
+    7th (sidecar) slot together with the rank-join retrieval counters
+    and the worker's metric deltas.
     """
-    sid, terms, semantics, k, wire = payload
+    sid, terms, semantics, k, wire, ctx_wire = payload
     db = _SERVE_DBS.get(sid)
     if db is None:  # pragma: no cover - misuse guard
         return sid, None, False, None, 0.0, RuntimeError(
             "worker has no shard database; pools must be created by "
-            "ServeDaemon after _SERVE_DBS is installed")
+            "ServeDaemon after _SERVE_DBS is installed"), None
     deadline = Deadline.from_wire(wire) if wire else None
+    ctx = TraceContext.from_wire(ctx_wire)
+    _worker_baseline(db)
+    tracer = Tracer() if ctx is not None and ctx.sampled else NULL_TRACER
+    prev_tracer, db.tracer = db.tracer, tracer
     start = time.perf_counter()
     try:
-        top = db._topk_result(terms, semantics, "topk-join", k + 1,
-                              deadline=deadline)
+        with tracer.span("shard_query", shard=sid, terms=list(terms),
+                         k=k, pid=os.getpid(),
+                         trace_id=ctx.trace_id if ctx else None) as qspan:
+            top = db._topk_result(terms, semantics, "topk-join", k + 1,
+                                  deadline=deadline)
+            qspan.tag(retrievals=top.stats.tuples_scanned,
+                      emitted=top.stats.results_emitted,
+                      levels=top.stats.levels_processed,
+                      partial=top.stats.partial)
         light = _light(r for r in top.results if r.level > 1)
         elapsed = (time.perf_counter() - start) * 1000.0
         bound = top.bound
         if top.partial and bound is None:
             bound = float("inf")
-        return sid, light, top.partial, bound, elapsed, None
+        _worker_publish(db, "topk", top.stats, top.partial)
+        return (sid, light, top.partial, bound, elapsed, None,
+                _shard_extra(db, tracer, top.stats))
     except Exception as exc:  # noqa: BLE001 - shipped back as a value
         import pickle
 
@@ -105,24 +193,41 @@ def _serve_shard_topk(payload):
             pickle.dumps(exc)
         except Exception:
             exc = RuntimeError(f"{type(exc).__name__}: {exc}")
-        return sid, None, False, None, (time.perf_counter() - start) * 1000.0, exc
+        return (sid, None, False, None,
+                (time.perf_counter() - start) * 1000.0, exc,
+                _shard_extra(db, tracer, None))
+    finally:
+        db.tracer = prev_tracer
 
 
 def _serve_shard_search(payload):
     """Pool entry: one shard's slice of a complete-evaluation scatter."""
-    sid, terms, semantics, wire = payload
+    sid, terms, semantics, wire, ctx_wire = payload
     db = _SERVE_DBS.get(sid)
     if db is None:  # pragma: no cover - misuse guard
         return sid, None, False, None, 0.0, RuntimeError(
-            "worker has no shard database")
+            "worker has no shard database"), None
     deadline = Deadline.from_wire(wire) if wire else None
+    ctx = TraceContext.from_wire(ctx_wire)
+    _worker_baseline(db)
+    tracer = Tracer() if ctx is not None and ctx.sampled else NULL_TRACER
+    prev_tracer, db.tracer = db.tracer, tracer
     start = time.perf_counter()
     try:
-        results, stats = db._complete_results(terms, semantics, "join",
-                                              deadline=deadline)
+        with tracer.span("shard_query", shard=sid, terms=list(terms),
+                         pid=os.getpid(),
+                         trace_id=ctx.trace_id if ctx else None) as qspan:
+            results, stats = db._complete_results(terms, semantics, "join",
+                                                  deadline=deadline)
+            qspan.tag(retrievals=stats.tuples_scanned,
+                      emitted=stats.results_emitted,
+                      levels=stats.levels_processed,
+                      partial=stats.partial)
         light = _light(r for r in results if r.level > 1)
         elapsed = (time.perf_counter() - start) * 1000.0
-        return sid, light, stats.partial, None, elapsed, None
+        _worker_publish(db, "search", stats, stats.partial)
+        return (sid, light, stats.partial, None, elapsed, None,
+                _shard_extra(db, tracer, stats))
     except Exception as exc:  # noqa: BLE001
         import pickle
 
@@ -130,7 +235,43 @@ def _serve_shard_search(payload):
             pickle.dumps(exc)
         except Exception:
             exc = RuntimeError(f"{type(exc).__name__}: {exc}")
-        return sid, None, False, None, (time.perf_counter() - start) * 1000.0, exc
+        return (sid, None, False, None,
+                (time.perf_counter() - start) * 1000.0, exc,
+                _shard_extra(db, tracer, None))
+    finally:
+        db.tracer = prev_tracer
+
+
+#: ``name{label="v"}`` keys from `MetricsRegistry.snapshot`, split back
+#: into (name, labels) so worker counters can be re-registered in the
+#: parent registry with a ``shard`` label added.
+_METRIC_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+_LABEL_RE = re.compile(r'(\w+)="([^"]*)"')
+
+
+def _parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    match = _METRIC_KEY_RE.match(key)
+    if match is None:  # pragma: no cover - snapshot keys always match
+        return key, {}
+    labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+    return match.group("name"), labels
+
+
+class _RequestObs:
+    """Per-request timing facts collected on the way to a stitched
+    trace: where the queue wait went, what the scatter touched, what
+    each shard reported.  Plain accumulator -- the daemon handles many
+    requests concurrently on one thread, so each request carries its
+    own instead of sharing tracer state."""
+
+    __slots__ = ("shards", "scatter_ms", "merge_ms", "fanout", "mode")
+
+    def __init__(self):
+        self.shards: List[Dict[str, Any]] = []
+        self.scatter_ms: Optional[float] = None
+        self.merge_ms = 0.0
+        self.fanout = 0
+        self.mode = "inline"
 
 
 class ServeDaemon:
@@ -141,6 +282,16 @@ class ServeDaemon:
     creates one fork-context pool of that width per shard.  Either way
     the event loop itself never evaluates a query: it only admits,
     dispatches, merges and serializes.
+
+    Observability (on by default, ``tracing=False`` turns span
+    collection off): every request gets a `TraceContext`, shard workers
+    ship span trees back, and the daemon stitches one trace per request
+    (tail-sampled into `TraceStore` / ``/debug/traces``), writes one
+    `AccessLog` record (optionally JSONL at ``access_log_path``), feeds
+    the `SLOTracker` behind ``/slo``, attaches trace-id exemplars to
+    ``repro_serve_latency_ms``, and -- with ``slow_ms`` or an explicit
+    ``slow_log`` -- records over-threshold requests with their stitched
+    per-shard breakdown.
     """
 
     def __init__(self, db: ShardedDatabase, host: str = "127.0.0.1",
@@ -149,7 +300,17 @@ class ServeDaemon:
                  default_timeout_ms: Optional[float] = None,
                  default_partial: bool = False,
                  result_cache_size: int = 1024,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracing: bool = True,
+                 trace_capacity: int = 256,
+                 trace_log_path: Optional[str] = None,
+                 access_log_path: Optional[str] = None,
+                 access_log_capacity: int = 1024,
+                 tail_slow_ms: float = 250.0,
+                 tail_sample_rate: float = 1.0,
+                 slow_log: Optional[SlowQueryLog] = None,
+                 slow_ms: Optional[float] = None,
+                 slo_config: Optional[SLOConfig] = None):
         self.db = db
         self.host = host
         self.port = port
@@ -160,6 +321,17 @@ class ServeDaemon:
         self.default_partial = default_partial
         self.metrics = metrics if metrics is not None else get_registry()
         self.cache = QueryCache(0, result_cache_size)
+        self.tracing = bool(tracing)
+        self.traces = TraceStore(trace_capacity, path=trace_log_path)
+        self.access_log = AccessLog(access_log_capacity,
+                                    path=access_log_path)
+        self.sampler = TailSampler(tail_slow_ms, tail_sample_rate)
+        self.slo = SLOTracker(slo_config)
+        if slow_log is None and slow_ms is not None:
+            slow_log = SlowQueryLog(threshold_ms=slow_ms)
+        self.slow_log = slow_log
+        # (shard, pid) -> the worker's latest cumulative counter deltas
+        self._worker_metrics: Dict[Tuple[int, int], Dict[str, float]] = {}
         self._pools: List = []
         self._sem: Optional[asyncio.Semaphore] = None
         self._waiting = 0
@@ -265,39 +437,108 @@ class ServeDaemon:
                              tuple(witnesses))
                 for level, number, score, witnesses in light]
 
-    async def _scatter(self, fn, payloads) -> List[Tuple]:
-        """Run one pool task per qualifying shard, concurrently."""
+    def _absorb_worker_counters(self, sid: int, pid: Optional[int],
+                                counters: Dict[str, float]) -> None:
+        """Fold one worker's cumulative counter deltas into the parent
+        registry as ``repro_worker_*`` counters labelled by shard.
+
+        The worker ships totals-since-fork, so the parent increments by
+        the growth over the previous report from the same (shard, pid)
+        -- monotonic in the parent even across interleaved reports from
+        sibling workers, self-correcting when a pool respawns a worker
+        (a fresh pid starts a fresh series)."""
+        if pid is None or not counters:
+            return
+        prev = self._worker_metrics.get((sid, pid), {})
+        for key, value in counters.items():
+            grown = value - prev.get(key, 0.0)
+            if grown <= 0:
+                continue
+            name, labels = _parse_metric_key(key)
+            if name.startswith("repro_"):
+                name = name[len("repro_"):]
+            labels["shard"] = str(sid)
+            self.metrics.counter("repro_worker_" + name, labels).inc(grown)
+        self._worker_metrics[(sid, pid)] = dict(counters)
+
+    def worker_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Latest worker counter deltas summed per shard (``/stats``)."""
+        per_shard: Dict[str, Dict[str, float]] = {}
+        for (sid, _pid), counters in sorted(self._worker_metrics.items()):
+            agg = per_shard.setdefault(str(sid), {})
+            for key, value in counters.items():
+                agg[key] = agg.get(key, 0.0) + value
+        return per_shard
+
+    async def _scatter(self, fn, payloads, obs: _RequestObs) -> List[Tuple]:
+        """Run one pool task per qualifying shard, concurrently.
+
+        Fills ``obs.shards`` with each shard's latency / retrieval
+        counts / span tree and absorbs worker metric deltas *before*
+        re-raising a shard failure, so an error trace still shows what
+        the healthy shards did.
+        """
         loop = asyncio.get_running_loop()
         futures = [loop.run_in_executor(self._pools[payload[0]], fn,
                                         payload)
                    for payload in payloads]
         outcomes = await asyncio.gather(*futures)
-        for sid, _light, _partial, _bound, elapsed, exc in outcomes:
+        first_exc = None
+        for sid, _light, partial, bound, elapsed, exc, extra in outcomes:
             self.metrics.histogram("repro_serve_shard_ms",
                                    {"shard": str(sid)}).observe(elapsed)
+            entry: Dict[str, Any] = {"shard": sid, "elapsed_ms": elapsed,
+                                     "partial": bool(partial)}
+            if bound is not None and bound != float("inf"):
+                entry["bound"] = bound
+            if extra:
+                self._absorb_worker_counters(sid, extra.get("pid"),
+                                             extra.get("counters") or {})
+                for key in ("retrievals", "emitted", "levels", "pid"):
+                    if extra.get(key) is not None:
+                        entry[key] = extra[key]
+                entry["trace"] = extra.get("trace")
             if exc is not None:
-                raise exc
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+                if first_exc is None:
+                    first_exc = exc
+            obs.shards.append(entry)
+        if first_exc is not None:
+            raise first_exc
         return outcomes
 
     async def _eval_topk(self, terms: List[str], semantics: str, k: int,
-                         deadline: Optional[Deadline]) -> dict:
+                         deadline: Optional[Deadline],
+                         ctx: Optional[TraceContext],
+                         obs: _RequestObs) -> dict:
         db = self.db
         if self.workers < 1:
+            started = time.perf_counter()
             top = await asyncio.get_running_loop().run_in_executor(
                 None, lambda: db.search_topk(terms, k, semantics,
                                              deadline=deadline))
+            obs.scatter_ms = (time.perf_counter() - started) * 1000.0
             return self._payload(top.results, top.partial, top.bound)
         if not db._covered(terms):
             return self._payload([], False, None)
         wire = deadline.to_wire() if deadline is not None else None
+        ctx_wire = (ctx.child("scatter").to_wire()
+                    if ctx is not None else None)
         shard_ids = [sid for sid, shard in enumerate(db.shards)
                      if all(t in shard.columnar_index for t in terms)]
+        obs.mode = "pool"
+        obs.fanout = len(shard_ids)
+        started = time.perf_counter()
         outcomes = await self._scatter(
             _serve_shard_topk,
-            [(sid, terms, semantics, k, wire) for sid in shard_ids])
+            [(sid, terms, semantics, k, wire, ctx_wire)
+             for sid in shard_ids], obs)
+        merging = time.perf_counter()
+        obs.scatter_ms = (merging - started) * 1000.0
         merged: List[SearchResult] = []
         partial, bound = False, None
-        for _sid, light, shard_partial, shard_bound, _ms, _exc in outcomes:
+        for outcome in outcomes:
+            _sid, light, shard_partial, shard_bound = outcome[:4]
             merged.extend(self._rehydrate(light))
             if shard_partial:
                 partial = True
@@ -309,28 +550,42 @@ class ServeDaemon:
         merged.sort(key=lambda r: (-r.score, r.node.dewey))
         if partial:
             merged = [r for r in merged if r.score > bound]
+        obs.merge_ms = (time.perf_counter() - merging) * 1000.0
         return self._payload(merged[:k], partial, bound)
 
     async def _eval_search(self, terms: List[str], semantics: str,
-                           deadline: Optional[Deadline]) -> dict:
+                           deadline: Optional[Deadline],
+                           ctx: Optional[TraceContext],
+                           obs: _RequestObs) -> dict:
         db = self.db
         if self.workers < 1:
+            started = time.perf_counter()
             results, stats = await asyncio.get_running_loop().run_in_executor(
                 None, lambda: db.search(terms, semantics,
                                         deadline=deadline,
                                         with_stats=True))
+            obs.scatter_ms = (time.perf_counter() - started) * 1000.0
             return self._payload(results, stats.partial, None)
         if not db._covered(terms):
             return self._payload([], False, None)
         wire = deadline.to_wire() if deadline is not None else None
+        ctx_wire = (ctx.child("scatter").to_wire()
+                    if ctx is not None else None)
         shard_ids = [sid for sid, shard in enumerate(db.shards)
                      if all(t in shard.columnar_index for t in terms)]
+        obs.mode = "pool"
+        obs.fanout = len(shard_ids)
+        started = time.perf_counter()
         outcomes = await self._scatter(
             _serve_shard_search,
-            [(sid, terms, semantics, wire) for sid in shard_ids])
+            [(sid, terms, semantics, wire, ctx_wire)
+             for sid in shard_ids], obs)
+        merging = time.perf_counter()
+        obs.scatter_ms = (merging - started) * 1000.0
         merged: List[SearchResult] = []
         partial = False
-        for _sid, light, shard_partial, _bound, _ms, _exc in outcomes:
+        for outcome in outcomes:
+            _sid, light, shard_partial = outcome[:3]
             merged.extend(self._rehydrate(light))
             partial = partial or shard_partial
         if deadline is not None and deadline.expired():
@@ -340,6 +595,7 @@ class ServeDaemon:
             if root is not None:
                 merged.append(root)
         merged.sort(key=lambda r: r.node.dewey)
+        obs.merge_ms = (time.perf_counter() - merging) * 1000.0
         return self._payload(merged, partial, None)
 
     def _payload(self, results: Sequence[SearchResult], partial: bool,
@@ -362,40 +618,96 @@ class ServeDaemon:
     # ------------------------------------------------------------------
 
     async def _handle_query(self, endpoint: str, params: dict) -> Tuple[int, dict]:
+        """Admission, evaluation and — on every terminal path — the
+        request's observability bookkeeping via the `finish` closure:
+        stitch + tail-sample the trace, write the access-log record,
+        feed the SLO tracker and the slow log."""
+        arrival = time.perf_counter()
+        wall = time.time()
+        ctx = TraceContext() if self.tracing else None
+        obs = _RequestObs()
+
+        def finish(status, outcome, terms, semantics, k, *,
+                   queue_wait_ms=0.0, result_count=0, partial=False,
+                   bound=None, cached=False):
+            elapsed_ms = (time.perf_counter() - arrival) * 1000.0
+            trace_id = ctx.trace_id if ctx is not None else None
+            if ctx is not None:
+                extra = {"fanout": obs.fanout, "mode": obs.mode,
+                         "result_count": result_count}
+                if bound is not None:
+                    extra["bound"] = bound
+                trace = stitch_trace(
+                    ctx.trace_id, endpoint, terms, semantics, k, status,
+                    outcome, elapsed_ms, queue_wait_ms, shards=obs.shards,
+                    scatter_ms=obs.scatter_ms, merge_ms=obs.merge_ms,
+                    cached=cached, wall_time=wall, extra_tags=extra)
+                if self.sampler.keep(status, outcome, elapsed_ms):
+                    self.traces.add(trace)
+                if (self.slow_log is not None and status == 200
+                        and not cached):
+                    self.slow_log.maybe_record(
+                        elapsed_ms, terms, semantics, "serve-" + endpoint,
+                        k, stats={
+                            "trace_id": trace_id,
+                            "queue_wait_ms": queue_wait_ms,
+                            "scatter_ms": obs.scatter_ms,
+                            "merge_ms": obs.merge_ms,
+                            "fanout": obs.fanout,
+                            "mode": obs.mode,
+                            "shards": {
+                                str(s["shard"]): {
+                                    "elapsed_ms": s.get("elapsed_ms"),
+                                    "retrievals": s.get("retrievals"),
+                                    "partial": s.get("partial"),
+                                } for s in obs.shards},
+                        }, trace_dict=trace["root"])
+            self.access_log.record(
+                wall_time=wall, trace_id=trace_id, endpoint=endpoint,
+                terms=terms, semantics=semantics, k=k, status=status,
+                outcome=outcome, cached=cached,
+                queue_wait_ms=queue_wait_ms, elapsed_ms=elapsed_ms,
+                result_count=result_count, partial=partial, bound=bound,
+                shards=[{key: value for key, value in shard.items()
+                         if key != "trace"} for shard in obs.shards])
+            self.slo.record(status, elapsed_ms)
+            return trace_id, elapsed_ms
+
         query = params.get("q", "").strip()
-        if not query:
-            return 400, {"error": {"type": "bad_request",
-                                   "message": "missing ?q="}}
         semantics = params.get("semantics", ELCA)
-        if semantics not in SEMANTICS:
+        k: Optional[int] = None
+
+        def bad_request(message):
+            trace_id, _ = finish(400, "bad_request",
+                                 query.split() if query else [],
+                                 semantics, k)
             return 400, {"error": {"type": "bad_request",
-                                   "message": f"unknown semantics "
-                                              f"{semantics!r}"}}
-        k = None
+                                   "message": message},
+                         "trace_id": trace_id}
+
+        if not query:
+            return bad_request("missing ?q=")
+        if semantics not in SEMANTICS:
+            return bad_request(f"unknown semantics {semantics!r}")
         if endpoint == "topk":
             try:
                 k = int(params.get("k", "10"))
             except ValueError:
-                return 400, {"error": {"type": "bad_request",
-                                       "message": "k must be an integer"}}
+                return bad_request("k must be an integer")
             if k < 1:
-                return 400, {"error": {"type": "bad_request",
-                                       "message": "k must be >= 1"}}
+                return bad_request("k must be >= 1")
         timeout_ms = self.default_timeout_ms
         if "timeout_ms" in params:
             try:
                 timeout_ms = float(params["timeout_ms"])
             except ValueError:
-                return 400, {"error": {"type": "bad_request",
-                                       "message": "timeout_ms must be "
-                                                  "a number"}}
+                return bad_request("timeout_ms must be a number")
         partial_ok = self.default_partial
         if "partial" in params:
             partial_ok = params["partial"] not in ("0", "false", "")
         # The budget starts *now*, at admission -- queue wait spends it.
         deadline = Deadline.coerce(None, timeout_ms,
                                    "partial" if partial_ok else "raise")
-        arrival = time.perf_counter()
         terms = self.db._terms(query)
         cache_key = result_key(terms, semantics,
                                "serve-" + endpoint, k)
@@ -404,14 +716,18 @@ class ServeDaemon:
             # `get_results` hands back a list copy; the single element
             # is the cached response body.
             body = dict(cached[0])
-            body.update(terms=terms, semantics=semantics, cached=True,
-                        elapsed_ms=(time.perf_counter() - arrival) * 1000.0)
             self.metrics.counter("repro_serve_requests_total",
                                  {"outcome": "ok"}).inc()
+            trace_id, elapsed_ms = finish(
+                200, "ok", terms, semantics, k, cached=True,
+                result_count=len(body.get("results", [])))
+            body.update(terms=terms, semantics=semantics, cached=True,
+                        elapsed_ms=elapsed_ms, trace_id=trace_id)
             return 200, body
         try:
-            await self._admit(deadline)
+            queue_wait_ms = await self._admit(deadline)
         except AdmissionError as exc:
+            waited_ms = (time.perf_counter() - arrival) * 1000.0
             if exc.reason == "deadline" and partial_ok:
                 # The partial policy promises degraded answers instead
                 # of failure; a budget spent entirely in the queue has
@@ -419,41 +735,62 @@ class ServeDaemon:
                 self.metrics.counter("repro_serve_requests_total",
                                      {"outcome": "partial"}).inc()
                 body = self._payload([], True, None)
+                trace_id, elapsed_ms = finish(
+                    200, "partial", terms, semantics, k,
+                    queue_wait_ms=waited_ms, partial=True)
                 body.update(terms=terms, semantics=semantics,
-                            cached=False,
-                            elapsed_ms=(time.perf_counter() - arrival)
-                            * 1000.0)
+                            cached=False, elapsed_ms=elapsed_ms,
+                            trace_id=trace_id)
                 return 200, body
+            outcome = "shed" if exc.reason == "queue_full" else "deadline"
+            trace_id, _ = finish(exc.status, outcome, terms, semantics, k,
+                                 queue_wait_ms=waited_ms)
             return exc.status, {"error": {"type": exc.reason,
-                                          "message": str(exc)}}
+                                          "message": str(exc)},
+                                "trace_id": trace_id}
         self._inflight.inc()
         try:
             if endpoint == "topk":
-                body = await self._eval_topk(terms, semantics, k, deadline)
+                body = await self._eval_topk(terms, semantics, k,
+                                             deadline, ctx, obs)
             else:
-                body = await self._eval_search(terms, semantics, deadline)
+                body = await self._eval_search(terms, semantics,
+                                               deadline, ctx, obs)
         except DeadlineExceeded as exc:
             self.metrics.counter("repro_serve_requests_total",
                                  {"outcome": "error"}).inc()
-            return 504, {"error": {"type": "deadline", "message": str(exc)}}
+            trace_id, _ = finish(504, "deadline", terms, semantics, k,
+                                 queue_wait_ms=queue_wait_ms)
+            return 504, {"error": {"type": "deadline",
+                                   "message": str(exc)},
+                         "trace_id": trace_id}
         except Exception as exc:  # noqa: BLE001 - typed 500
             self.metrics.counter("repro_serve_requests_total",
                                  {"outcome": "error"}).inc()
+            trace_id, _ = finish(500, "error", terms, semantics, k,
+                                 queue_wait_ms=queue_wait_ms)
             return 500, {"error": {"type": "internal",
                                    "message": f"{type(exc).__name__}: "
-                                              f"{exc}"}}
+                                              f"{exc}"},
+                         "trace_id": trace_id}
         finally:
             self._inflight.dec()
             self._sem.release()
-        elapsed_ms = (time.perf_counter() - arrival) * 1000.0
-        self._latency.observe(elapsed_ms)
         outcome = "partial" if body["partial"] else "ok"
         self.metrics.counter("repro_serve_requests_total",
                              {"outcome": outcome}).inc()
         if not body["partial"]:
             self.cache.put_results(cache_key, [dict(body)])
+        trace_id, elapsed_ms = finish(
+            200, outcome, terms, semantics, k,
+            queue_wait_ms=queue_wait_ms,
+            result_count=len(body["results"]),
+            partial=body["partial"], bound=body["bound"])
+        # The latency exemplar points the histogram bucket back at this
+        # request's stitched trace.
+        self._latency.observe(elapsed_ms, exemplar=trace_id)
         body.update(terms=terms, semantics=semantics, cached=False,
-                    elapsed_ms=elapsed_ms)
+                    elapsed_ms=elapsed_ms, trace_id=trace_id)
         return 200, body
 
     async def _dispatch(self, method: str, path: str) -> Tuple[int, str, str]:
@@ -478,6 +815,40 @@ class ServeDaemon:
                 "max_concurrency": self.max_concurrency,
                 "queue_limit": self.queue_limit,
                 "cache": self.cache.stats(),
+                "tracing": {
+                    "enabled": self.tracing,
+                    "retained_traces": len(self.traces),
+                    "traces_added": self.traces.added,
+                    "traces_dropped": self.traces.dropped,
+                    "access_log_records": len(self.access_log),
+                    "access_log_written": self.access_log.written,
+                    "slow_log_records": (len(self.slow_log)
+                                         if self.slow_log is not None
+                                         else None),
+                },
+                "worker_metrics": self.worker_metrics(),
+            })
+        if route == "/slo":
+            return 200, "application/json", json.dumps(self.slo.report())
+        if route == "/debug/traces":
+            trace_id = params.get("trace_id")
+            if trace_id:
+                trace = self.traces.get(trace_id)
+                if trace is None:
+                    return 404, "application/json", json.dumps(
+                        {"error": {"type": "not_found",
+                                   "message": f"trace {trace_id} not "
+                                              f"retained"}})
+                return 200, "application/json", json.dumps(trace)
+            try:
+                limit = int(params.get("limit", "50"))
+            except ValueError:
+                limit = 50
+            return 200, "application/json", json.dumps({
+                "retained": len(self.traces),
+                "added": self.traces.added,
+                "dropped": self.traces.dropped,
+                "traces": self.traces.summaries(limit),
             })
         if route == "/cache/clear":
             if method != "POST":
