@@ -35,7 +35,7 @@ from .algorithms.stack_based import StackBasedSearch
 from .algorithms.topk_keyword import TopKKeywordSearch
 from .cache import QueryCache, result_key
 from .reliability.deadline import Deadline, deadline_scope
-from .reliability.errors import DeadlineExceeded
+from .reliability.errors import DeadlineExceeded, WorkerCrashError
 from .index.columnar import ColumnarIndex
 from .index.inverted import InvertedIndex
 from .index.tokenizer import Tokenizer
@@ -54,6 +54,13 @@ TOPK_ALGORITHMS = ("topk-join", "rdil", "hybrid", "join")
 #: and caches -- copy-on-write, with zero serialization.
 _WORKER_DB: Optional["XMLDatabase"] = None
 
+#: Test seam: a callable run at worker entry with the query value.
+#: Installed in the parent *before* the pool forks (workers inherit it
+#: copy-on-write), it lets crash-recovery tests kill a worker
+#: deterministically on a chosen query -- the same fork-inherited-hook
+#: trick `repro.diskdb` uses for disk faults.
+_BATCH_FAULT_HOOK = None
+
 
 def _process_batch_worker(payload):
     """Evaluate one batch query inside a forked worker.
@@ -67,6 +74,8 @@ def _process_batch_worker(payload):
     parent keeps batch error isolation.
     """
     index, query, semantics, k, algorithm, use_cache, deadline = payload
+    if _BATCH_FAULT_HOOK is not None:
+        _BATCH_FAULT_HOOK(query)
     db = _WORKER_DB
     if db is None:  # pragma: no cover - misuse guard
         raise RuntimeError(
@@ -831,56 +840,126 @@ class XMLDatabase:
         (`_record_query`), so latency histograms and join counters in
         the metrics registry equal a single-process run of the same
         batch; worker-side registries are forked copies and discarded.
+
+        A worker crash (OOM kill, segfault) breaks the whole executor:
+        every outstanding future raises `BrokenExecutor`, not just the
+        one the dying worker held.  Rather than failing the batch, the
+        crash is contained: the broken pool is replaced once and the
+        affected queries re-run *one at a time* on the fresh pool, so a
+        second crash implicates exactly one query -- that query (and
+        any still queued behind it) becomes a typed `WorkerCrashError`
+        entry in ``errors`` while the rest of the batch completes
+        normally.  Under ``raise_on_error`` the crash propagates as
+        `WorkerCrashError` instead.  A caller-owned executor that
+        breaks is left to its owner; victims are rescued on a
+        temporary pool of the same width.
         """
         global _WORKER_DB
         _WORKER_DB = self
-        if pool is None:
+        from concurrent.futures import BrokenExecutor
+
+        def fresh_pool():
             import multiprocessing
             from concurrent.futures import ProcessPoolExecutor
 
-            pool = ProcessPoolExecutor(
-                max_workers=processes,
+            width = processes or getattr(pool, "_max_workers", 1) or 1
+            return ProcessPoolExecutor(
+                max_workers=width,
                 mp_context=multiprocessing.get_context("fork"))
-        try:
-            futures = [
-                pool.submit(_process_batch_worker,
-                            (index, query, semantics, k, algorithm,
-                             use_cache, deadline))
-                for index, query in indexed]
-            columnar = self.columnar_index
-            triples = [None] * len(indexed)
-            for future in futures:
-                index, terms, light, stats, elapsed_ms, exc = \
-                    future.result()
-                on_done()
-                if exc is not None:
-                    if raise_on_error:
-                        raise exc
-                    if isinstance(exc, DeadlineExceeded):
-                        self.metrics.counter(
-                            "repro_deadline_hits_total",
-                            {"outcome": "error"}).inc()
+
+        if pool is None:
+            pool = fresh_pool()
+        columnar = self.columnar_index
+        triples = [None] * len(indexed)
+
+        def absorb(index, terms, light, stats, elapsed_ms, exc):
+            if exc is not None:
+                if raise_on_error:
+                    raise exc
+                if isinstance(exc, DeadlineExceeded):
                     self.metrics.counter(
-                        "repro_batch_query_errors_total").inc()
-                    errors[index] = exc
-                    triples[index] = (None, ExecutionStats(), 0.0)
+                        "repro_deadline_hits_total",
+                        {"outcome": "error"}).inc()
+                self.metrics.counter(
+                    "repro_batch_query_errors_total").inc()
+                errors[index] = exc
+                triples[index] = (None, ExecutionStats(), 0.0)
+                return
+            results = [
+                SearchResult(columnar.node_at(level, number), level,
+                             score, witnesses)
+                for level, number, score, witnesses in light]
+            if use_cache and not stats.cache_hits:
+                # Mirror the worker's put into the parent cache so
+                # later batches (any mode) see the warm entry.
+                self.cache.put_results(
+                    result_key(terms, semantics, algorithm, k),
+                    results, partial=stats.partial)
+            if stats.partial:
+                self.metrics.counter("repro_deadline_hits_total",
+                                     {"outcome": "partial"}).inc()
+            self._record_query("batch", terms, semantics, algorithm,
+                               k, elapsed_ms, stats, None)
+            triples[index] = (results, stats, elapsed_ms)
+
+        def submit(target, index, query):
+            return target.submit(
+                _process_batch_worker,
+                (index, query, semantics, k, algorithm, use_cache,
+                 deadline))
+
+        try:
+            futures = [submit(pool, index, query)
+                       for index, query in indexed]
+            victims = []
+            for future, (index, query) in zip(futures, indexed):
+                try:
+                    payload = future.result()
+                except BrokenExecutor:
+                    # Pool-level death dooms every sibling future too.
+                    # Defer on_done: each victim completes exactly once
+                    # below, via rerun or typed error.
+                    victims.append((index, query))
                     continue
-                results = [
-                    SearchResult(columnar.node_at(level, number), level,
-                                 score, witnesses)
-                    for level, number, score, witnesses in light]
-                if use_cache and not stats.cache_hits:
-                    # Mirror the worker's put into the parent cache so
-                    # later batches (any mode) see the warm entry.
-                    self.cache.put_results(
-                        result_key(terms, semantics, algorithm, k),
-                        results, partial=stats.partial)
-                if stats.partial:
-                    self.metrics.counter("repro_deadline_hits_total",
-                                         {"outcome": "partial"}).inc()
-                self._record_query("batch", terms, semantics, algorithm,
-                                   k, elapsed_ms, stats, None)
-                triples[index] = (results, stats, elapsed_ms)
+                on_done()
+                absorb(*payload)
+            if victims:
+                if raise_on_error:
+                    raise WorkerCrashError(
+                        "batch worker crashed; %d queries lost with it"
+                        % len(victims))
+                self.metrics.counter(
+                    "repro_batch_pool_rebuilds_total").inc()
+                rescue = fresh_pool()
+                if own_pool:
+                    pool.shutdown(wait=False)
+                    pool = rescue  # the outer finally closes it
+                poisoned = False
+                try:
+                    for index, query in victims:
+                        exc = payload = None
+                        if poisoned:
+                            exc = WorkerCrashError(
+                                "skipped: an earlier retry crashed the "
+                                "rebuilt batch pool", query_index=index)
+                        else:
+                            try:
+                                payload = submit(rescue, index,
+                                                 query).result()
+                            except BrokenExecutor:
+                                poisoned = True
+                                exc = WorkerCrashError(
+                                    "query crashed the rebuilt batch "
+                                    "pool", query_index=index)
+                        on_done()
+                        if exc is not None:
+                            absorb(index, None, None, ExecutionStats(),
+                                   0.0, exc)
+                        else:
+                            absorb(*payload)
+                finally:
+                    if not own_pool:
+                        rescue.shutdown(wait=True)
             return triples
         finally:
             if own_pool:

@@ -69,6 +69,12 @@ GUARDED_OPS = (
     # in the observability code itself fails the gate directly.
     "serve_daemon_topk_traced",
     "serve_obs_tail",
+    # Self-healing-PR addition: the daemon p50 with the full
+    # supervision layer (breakers + retry/hedge plumbing) enabled and
+    # chaos disabled -- the production config.  Guarding it proves the
+    # resilience machinery stays within its <=5% overhead budget as
+    # the code evolves.
+    "serve_daemon_topk_chaosoff",
 )
 
 

@@ -43,8 +43,17 @@ Schema (``repro.bench.serve/v1``)::
       "tracing_overhead": {"plain", "traced", "measured_p50_overhead",
                            "obs_tail_p50_ms", "obs_tail_share_of_p50",
                            "budget", "guard_ok"},
+      "supervision_overhead": {"supervised", "unsupervised",
+                               "measured_p50_overhead",
+                               "sup_tail_p50_ms",
+                               "sup_tail_share_of_p50",
+                               "budget", "guard_ok"},
+      "chaos": {"<mix>": {"availability", "degraded_responses",
+                          "pool_rebuilds", "breaker_trips", "healed",
+                          "ok", "violations", ...}},
       "ops": {"serve_daemon_topk": {...}, "serve_baseline_topk": {...},
-              "serve_daemon_topk_traced": {...}, "serve_obs_tail": {...}}
+              "serve_daemon_topk_traced": {...}, "serve_obs_tail": {...},
+              "serve_daemon_topk_chaosoff": {...}}
     }
 
 ``ops`` carries the guarded p50s the perf-regression series tracks
@@ -426,6 +435,123 @@ def run_tracing_overhead(db: XMLDatabase, queries: List[str], k: int,
 
 
 # ---------------------------------------------------------------------------
+# self-healing: supervision overhead guard + chaos section
+# ---------------------------------------------------------------------------
+
+SUPERVISION_BUDGET = 0.05  # breaker/retry layer must stay under 5% of p50
+
+
+def measure_supervision_tail(repeats: int = 2000) -> Dict[str, float]:
+    """Per-request cost of the supervision layer with chaos off.
+
+    One iteration is what `_call_shard` adds around a healthy two-shard
+    scatter beyond the pool round-trip itself: a breaker admission
+    check and a success recording per shard (the closed-state fast
+    path), plus the retry-policy classification the failure path would
+    consult.  Microsecond-stable, so a regression in the breaker
+    bookkeeping is caught directly rather than inside drive noise.
+    """
+    from ..reliability.retry import RetryPolicy
+    from ..serve.supervisor import ShardSupervisor
+
+    sup = ShardSupervisor(2, 0)
+    policy = RetryPolicy(max_attempts=2)
+    err = OSError("probe")
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for sid in (0, 1):
+            breaker = sup.breaker(sid)
+            breaker.allow()
+            breaker.record_success()
+        policy.retryable(err)
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return _percentiles(samples)
+
+
+def run_supervision_overhead(db: XMLDatabase, queries: List[str], k: int,
+                             rounds: int) -> Dict[str, object]:
+    """Daemon qps/p50 with the self-healing layer on vs off, chaos
+    disabled either way -- the production config against the legacy
+    raise-on-any-failure path.
+
+    Mirrors `run_tracing_overhead`: the on/off drives share one
+    sharded database and are informational (closed-loop jitter); the
+    enforced guard is cost arithmetic -- `measure_supervision_tail`
+    p50 <= ``SUPERVISION_BUDGET`` of the supervised daemon's request
+    p50.  Both drives run ``workers=1`` (supervision governs the pool
+    path) with the result cache off so every request crosses the
+    breakers.  The supervised drive's p50 is the regress-guarded
+    ``serve_daemon_topk_chaosoff`` op.
+    """
+    sharded = ShardedDatabase.from_database(db, 2)
+    modes: Dict[str, Dict[str, float]] = {}
+    for mode, supervision in (("unsupervised", False),
+                              ("supervised", True)):
+        with _DaemonRunner(sharded, workers=1, max_concurrency=8,
+                           queue_limit=64, result_cache_size=0,
+                           supervision=supervision) as runner:
+            lat, statuses, wall = _drive(
+                runner.daemon.port, queries, rounds, 2, k)
+        assert all(s == 200 for s in statuses), statuses[:5]
+        cell: Dict[str, float] = {"qps": len(lat) / wall,
+                                  "requests": len(lat)}
+        cell.update(_percentiles(lat))
+        modes[mode] = cell
+    tail = measure_supervision_tail()
+    p50_on = modes["supervised"]["p50_ms"]
+    p50_off = modes["unsupervised"]["p50_ms"]
+    share = tail["p50_ms"] / p50_on if p50_on else 0.0
+    return {
+        "supervised": modes["supervised"],
+        "unsupervised": modes["unsupervised"],
+        "measured_p50_overhead":
+            (p50_on / p50_off - 1.0) if p50_off else 0.0,
+        "sup_tail_p50_ms": tail["p50_ms"],
+        "sup_tail_p95_ms": tail["p95_ms"],
+        "sup_tail_share_of_p50": share,
+        "budget": SUPERVISION_BUDGET,
+        "guard_ok": share <= SUPERVISION_BUDGET,
+    }
+
+
+CHAOS_MIXES = {
+    "kill-heavy": "kill=0.08,latency=0.05,latency-ms=25",
+    "latency-heavy": "latency=0.25,latency-ms=35,error=0.05",
+    "mixed": "kill=0.03,error=0.08,latency=0.10,latency-ms=25,byte=0.03",
+}
+
+
+def run_chaos_section(db: XMLDatabase, k: int, requests: int,
+                      seed: int = SEED) -> Dict[str, object]:
+    """Seeded chaos drives, one per fault mix, each graded against the
+    self-healing SLOs by `serve.chaos.run_chaos_drive`: availability
+    over accepted requests, bounded degraded responses, the deadline
+    ceiling, and full healing (pools respawned, breakers re-closed)."""
+    from ..serve.chaos import (ChaosInjector, run_chaos_drive,
+                               sample_queries)
+
+    sharded = ShardedDatabase.from_database(db, 2)
+    queries = sample_queries(sharded, seed=seed)
+    out: Dict[str, object] = {}
+    for name, spec in CHAOS_MIXES.items():
+        chaos = ChaosInjector.from_spec(f"{spec},seed={seed}")
+        report = run_chaos_drive(
+            sharded, chaos, queries, workers=1, k=k,
+            requests=requests, clients=3)
+        out[name] = {key: report[key] for key in (
+            "chaos", "requests", "statuses", "availability",
+            "availability_target", "degraded_responses",
+            "accepted_p50_ms", "accepted_p99_ms", "injected",
+            "pool_rebuilds", "breaker_trips", "healed", "violations",
+            "ok")}
+        print(f"  {name}: availability={report['availability']:.4f} "
+              f"rebuilds={report['pool_rebuilds']} "
+              f"healed={report['healed']} ok={report['ok']}", flush=True)
+    return out
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -486,6 +612,22 @@ def run(out: str = DEFAULT_OUT, smoke: bool = False,
           f"({tracing_overhead['obs_tail_share_of_p50']:.2%} of p50, "
           f"budget {tracing_overhead['budget']:.0%})", flush=True)
 
+    print("supervision overhead: on/off drive + breaker microbench ...",
+          flush=True)
+    supervision_overhead = run_supervision_overhead(db, queries, k,
+                                                    rounds)
+    print(f"  supervised p50 "
+          f"{supervision_overhead['supervised']['p50_ms']:.2f} ms, "
+          f"sup tail "
+          f"{supervision_overhead['sup_tail_p50_ms']*1000:.1f} us "
+          f"({supervision_overhead['sup_tail_share_of_p50']:.2%} of p50, "
+          f"budget {supervision_overhead['budget']:.0%})", flush=True)
+
+    print("chaos: seeded fault mixes vs self-healing SLOs ...",
+          flush=True)
+    chaos_section = run_chaos_section(
+        db, k, requests=60 if smoke else 200)
+
     speedups = {}
     for shards in shard_counts:
         best = max((c["qps"] for c in grid if c["shards"] == shards),
@@ -516,6 +658,8 @@ def run(out: str = DEFAULT_OUT, smoke: bool = False,
         "speedups": speedups,
         "overload": overload,
         "tracing_overhead": tracing_overhead,
+        "supervision_overhead": supervision_overhead,
+        "chaos": chaos_section,
         # the guarded series for `repro regress` -- per-request p50s
         "ops": {
             "serve_daemon_topk": {
@@ -537,6 +681,11 @@ def run(out: str = DEFAULT_OUT, smoke: bool = False,
                 "p50_ms": tracing_overhead["obs_tail_p50_ms"],
                 "p95_ms": tracing_overhead["obs_tail_p95_ms"],
                 "repeats": 300,
+            },
+            "serve_daemon_topk_chaosoff": {
+                "p50_ms": supervision_overhead["supervised"]["p50_ms"],
+                "p95_ms": supervision_overhead["supervised"]["p95_ms"],
+                "repeats": supervision_overhead["supervised"]["requests"],
             },
         },
     }
@@ -565,6 +714,14 @@ def _assert_smoke_invariants(report: Dict[str, object]) -> None:
     assert tov["guard_ok"], \
         (f"observability tail {tov['obs_tail_share_of_p50']:.2%} of "
          f"daemon p50 exceeds the {tov['budget']:.0%} budget")
+    sup = report["supervision_overhead"]
+    assert sup["guard_ok"], \
+        (f"supervision tail {sup['sup_tail_share_of_p50']:.2%} of "
+         f"daemon p50 exceeds the {sup['budget']:.0%} budget")
+    assert "serve_daemon_topk_chaosoff" in report["ops"]
+    for mix, cell in report["chaos"].items():
+        assert cell["ok"], f"chaos mix {mix} violated self-healing " \
+                           f"SLOs: {cell['violations']}"
     if "p99_accepted_ms" in overload:
         assert overload["p99_accepted_ms"] <= \
             overload["deadline_ms"] * 1.5 + 100.0, \

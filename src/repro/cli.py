@@ -9,6 +9,7 @@
     python -m repro serve-batch mydb/ queries.txt --processes 4 -k 10
     python -m repro index bib.xml mydb/ --shards 4   # sharded store
     python -m repro serve mydb/ --workers 2          # HTTP daemon
+    python -m repro chaos mydb/ --spec kill=0.05,latency=0.2
     python -m repro info mydb/
     python -m repro trace mydb/ "xml data" --out trace.jsonl
     python -m repro trace --from-log access.jsonl --trace-id abc123
@@ -234,7 +235,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         db = ShardedDatabase.from_database(db, args.shards or 1)
     from .obs import SLOConfig
+    from .serve import BreakerConfig, ChaosInjector
 
+    chaos = None
+    if args.chaos:
+        if args.workers < 1:
+            print("error: --chaos needs --workers >= 1 (faults are "
+                  "injected into shard worker processes)",
+                  file=sys.stderr)
+            return 1
+        chaos = ChaosInjector.from_spec(args.chaos)
     serve(db, host=args.host, port=args.port, workers=args.workers,
           max_concurrency=args.max_concurrency,
           queue_limit=args.queue_limit,
@@ -249,8 +259,60 @@ def cmd_serve(args: argparse.Namespace) -> int:
           tail_sample_rate=args.tail_sample_rate,
           slo_config=SLOConfig(
               availability_target=args.slo_availability,
-              latency_target_ms=args.slo_latency_ms))
+              latency_target_ms=args.slo_latency_ms),
+          retry_attempts=args.retry_attempts,
+          hedge_ms=args.hedge_ms,
+          breaker=BreakerConfig(
+              consecutive_failures=args.breaker_failures,
+              open_ms=args.breaker_open_ms),
+          drain_grace_ms=args.drain_grace_ms,
+          supervision=not args.no_supervision,
+          chaos=chaos)
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos drive: boot a fault-injected daemon, hammer it,
+    wait for it to heal, and grade the run against the self-healing
+    invariants (availability, bounded degraded responses, deadline
+    ceiling, every killed pool rebuilt).  Exit 1 on any violation.
+    """
+    import json
+
+    from .serve import (ChaosInjector, ShardedDatabase,
+                        format_chaos_report, run_chaos_drive,
+                        sample_queries)
+
+    if args.workers < 1:
+        print("error: chaos needs --workers >= 1 (faults are injected "
+              "into shard worker processes)", file=sys.stderr)
+        return 1
+    if os.path.isdir(args.database):
+        from .diskdb import load_database
+
+        db = load_database(args.database, lazy=True, verify="lazy")
+    else:
+        db = _load(args.database)
+    if not isinstance(db, ShardedDatabase):
+        db = ShardedDatabase.from_database(db, args.shards or 2)
+    spec = args.spec
+    if args.seed is not None:
+        parts = [p for p in spec.split(",")
+                 if p.strip() and not p.strip().startswith("seed=")]
+        spec = ",".join(parts + [f"seed={args.seed}"])
+    chaos = ChaosInjector.from_spec(spec)
+    queries = sample_queries(db, seed=chaos.seed)
+    report = run_chaos_drive(
+        db, chaos, queries, workers=args.workers, k=args.k,
+        requests=args.requests, clients=args.clients,
+        timeout_ms=args.timeout_ms,
+        availability_target=args.availability_target)
+    print(format_chaos_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    return 0 if report["ok"] else 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -634,7 +696,60 @@ def build_parser() -> argparse.ArgumentParser:
                    help="availability objective for /slo burn rates")
     p.add_argument("--slo-latency-ms", type=float, default=250.0,
                    help="latency objective for /slo burn rates")
+    p.add_argument("--retry-attempts", type=int, default=2,
+                   help="per-shard attempts for transient failures "
+                        "(crashed worker, corrupt reply); 1 disables")
+    p.add_argument("--hedge-ms", type=float, default=None,
+                   help="fire a duplicate shard request after this "
+                        "many ms without a reply (tail hedging; off "
+                        "by default)")
+    p.add_argument("--breaker-failures", type=int, default=3,
+                   help="consecutive shard failures that open its "
+                        "circuit breaker")
+    p.add_argument("--breaker-open-ms", type=float, default=250.0,
+                   help="base quarantine before a breaker half-opens "
+                        "(doubles per re-trip, seeded jitter)")
+    p.add_argument("--drain-grace-ms", type=float, default=5000.0,
+                   help="SIGTERM drain: wait this long for in-flight "
+                        "requests before stopping the pools")
+    p.add_argument("--no-supervision", action="store_true",
+                   help="disable breakers/retries/degraded partials; "
+                        "any shard failure fails the request (A/B "
+                        "overhead measurement)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="fault-injection schedule, e.g. "
+                        "'kill=0.02,latency=0.1,latency-ms=50,"
+                        "error=0.05,byte=0.01,seed=3' (requires "
+                        "--workers >= 1; see docs/RELIABILITY.md)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("chaos",
+                       help="seeded chaos drive against an in-process "
+                            "daemon: kill workers, inject faults, "
+                            "assert availability and healing SLOs")
+    p.add_argument("database", help="database directory or XML file")
+    p.add_argument("--spec", default="kill=0.05,latency=0.15,"
+                                     "latency-ms=40,error=0.05,byte=0.02",
+                   help="fault mix, same syntax as `serve --chaos`")
+    p.add_argument("--seed", type=int, default=None,
+                   help="chaos schedule seed (overrides seed= in --spec)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="re-partition an unsharded database in memory")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes per shard (must be >= 1)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="requests to drive through the fault schedule")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent keep-alive client connections")
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--timeout-ms", type=float, default=1500.0,
+                   help="per-request deadline during the drive")
+    p.add_argument("--availability-target", type=float, default=0.99,
+                   help="minimum accepted-request availability "
+                        "(429 sheds excluded)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full chaos report here as JSON")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("info", help="database statistics and index sizes")
     p.add_argument("database")

@@ -351,8 +351,13 @@ class AccessLog:
         {"wall_time", "trace_id", "endpoint", "terms", "semantics",
          "k", "status", "outcome", "cached", "queue_wait_ms",
          "elapsed_ms", "result_count", "partial", "bound",
+         "degraded", "chaos",
          "shards": [{"shard", "elapsed_ms", "retrievals", "emitted",
                      "partial"}]}
+
+    ``degraded`` marks 200s served from a reduced shard set (with a
+    conservative bound); ``chaos`` lists the fault kinds the chaos
+    harness injected into the request, when any.
 
     Every request that reached query handling is logged -- including
     shed 429s and timed-out 504s, whose records carry their status and
@@ -361,7 +366,8 @@ class AccessLog:
 
     FIELDS = ("wall_time", "trace_id", "endpoint", "terms", "semantics",
               "k", "status", "outcome", "cached", "queue_wait_ms",
-              "elapsed_ms", "result_count", "partial", "bound", "shards")
+              "elapsed_ms", "result_count", "partial", "bound",
+              "degraded", "chaos", "shards")
 
     def __init__(self, capacity: int = 1024, path: Optional[str] = None):
         self.path = path

@@ -63,14 +63,17 @@ class SLOConfig:
 
 
 class _Bucket:
-    __slots__ = ("total", "bad", "shed", "good", "slow")
+    __slots__ = ("total", "bad", "shed", "good", "slow", "degraded")
 
     def __init__(self) -> None:
-        self.total = 0   # every terminal response
-        self.bad = 0     # 5xx + 504: spends availability budget
-        self.shed = 0    # 429: policy, reported but not budgeted
-        self.good = 0    # 200s: the latency objective's denominator
-        self.slow = 0    # 200s over the latency target
+        self.total = 0    # every terminal response
+        self.bad = 0      # 5xx + 504: spends availability budget
+        self.shed = 0     # 429: policy, reported but not budgeted
+        self.good = 0     # 200s: the latency objective's denominator
+        self.slow = 0     # 200s over the latency target
+        self.degraded = 0  # 200s served from a reduced shard set; good
+                           # for availability (bounded partials are the
+                           # contract), tracked so brownouts are visible
 
 
 def _classify(status: int) -> str:
@@ -98,10 +101,12 @@ class SLOTracker:
         self._max_window = max(self.config.windows_s)
         self.lifetime = _Bucket()
 
-    def record(self, status: int, elapsed_ms: float) -> None:
-        self.ingest(self._clock(), status, elapsed_ms)
+    def record(self, status: int, elapsed_ms: float,
+               degraded: bool = False) -> None:
+        self.ingest(self._clock(), status, elapsed_ms, degraded=degraded)
 
-    def ingest(self, when: float, status: int, elapsed_ms: float) -> None:
+    def ingest(self, when: float, status: int, elapsed_ms: float,
+               degraded: bool = False) -> None:
         """Record one response at an explicit timestamp."""
         second = int(when)
         bucket = self._buckets.get(second)
@@ -117,6 +122,8 @@ class SLOTracker:
                 b.shed += 1
             else:
                 b.good += 1
+                if degraded:
+                    b.degraded += 1
                 if elapsed_ms > self.config.latency_target_ms:
                     b.slow += 1
 
@@ -136,6 +143,7 @@ class SLOTracker:
                 out.shed += bucket.shed
                 out.good += bucket.good
                 out.slow += bucket.slow
+                out.degraded += bucket.degraded
         return out
 
     def report(self, now: Optional[float] = None) -> Dict[str, Any]:
@@ -157,6 +165,7 @@ class SLOTracker:
                 "shed": counts.shed,
                 "good": counts.good,
                 "slow": counts.slow,
+                "degraded": counts.degraded,
                 "availability": 1.0 - bad_ratio,
                 "availability_burn_rate": bad_ratio / avail_budget,
                 "latency_compliance": 1.0 - slow_ratio,
@@ -179,6 +188,7 @@ class SLOTracker:
                 "shed": self.lifetime.shed,
                 "good": self.lifetime.good,
                 "slow": self.lifetime.slow,
+                "degraded": self.lifetime.degraded,
             },
             "windows": windows,
             "alerts": alerts,
@@ -194,18 +204,19 @@ def report_from_records(records: Iterable[Dict[str, Any]],
     "now" of the log), so a log analysed hours later reports what the
     daemon would have reported at its last request.
     """
-    rows: List[Tuple[float, int, float]] = []
+    rows: List[Tuple[float, int, float, bool]] = []
     for rec in records:
         status = rec.get("status")
         if status is None:
             continue
         rows.append((float(rec.get("wall_time") or 0.0), int(status),
-                     float(rec.get("elapsed_ms") or 0.0)))
+                     float(rec.get("elapsed_ms") or 0.0),
+                     bool(rec.get("degraded"))))
     rows.sort(key=lambda row: row[0])
     anchor = rows[-1][0] if rows else 0.0
     tracker = SLOTracker(config, clock=lambda: anchor)
-    for when, status, elapsed_ms in rows:
-        tracker.ingest(when, status, elapsed_ms)
+    for when, status, elapsed_ms, degraded in rows:
+        tracker.ingest(when, status, elapsed_ms, degraded=degraded)
     return tracker.report(now=anchor)
 
 

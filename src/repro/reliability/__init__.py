@@ -21,7 +21,8 @@ from .checksum import (ALGORITHMS, DEFAULT_ALGORITHM, HAVE_NATIVE_CRC32C,
 from .deadline import (PARTIAL, POLICIES, RAISE, Deadline, QueryBudget,
                        active_deadline, check_active, deadline_scope)
 from .errors import (DatabaseCorruptError, DatabaseFormatError,
-                     DeadlineExceeded, InjectedFault, RetryExhaustedError)
+                     DeadlineExceeded, InjectedFault, RetryExhaustedError,
+                     ShardPayloadError, WorkerCrashError)
 from .faults import (BIT_FLIP, FAULT_KINDS, IO_ERROR, LATENCY, SHORT_READ,
                      FaultInjector, FaultyFile)
 from .io import fsync_dir, read_bytes, write_bytes
@@ -49,6 +50,8 @@ __all__ = [
     "DeadlineExceeded",
     "InjectedFault",
     "RetryExhaustedError",
+    "ShardPayloadError",
+    "WorkerCrashError",
     "BIT_FLIP",
     "FAULT_KINDS",
     "IO_ERROR",

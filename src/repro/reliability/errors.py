@@ -14,6 +14,10 @@ Hierarchy::
     OSError
       InjectedFault            a fault-injection error (transient by intent)
       RetryExhaustedError      retries used up; the fault is permanent
+      WorkerCrashError         a pool worker died mid-task (transient: the
+                               pool is rebuilt and a retry usually lands)
+      ShardPayloadError        a shard reply failed structural validation
+                               (corrupt bytes at the pool boundary)
 """
 
 from __future__ import annotations
@@ -67,3 +71,26 @@ class RetryExhaustedError(OSError):
         super().__init__(message)
         self.attempts = attempts
         self.op = op
+
+
+class WorkerCrashError(OSError):
+    """A process-pool worker died mid-task (SIGKILL, OOM, segfault) and
+    poisoned its `ProcessPoolExecutor`.  The supervising layer quarantines
+    and rebuilds the pool, so from the caller's perspective this is
+    *transient*: a retry against the rebuilt pool usually succeeds."""
+
+    def __init__(self, message: str, shard: Optional[int] = None,
+                 query_index: Optional[int] = None):
+        super().__init__(message)
+        self.shard = shard
+        self.query_index = query_index
+
+
+class ShardPayloadError(OSError):
+    """A shard reply crossed the pool boundary structurally corrupt
+    (wrong shape / non-finite fields).  Treated like an I/O fault:
+    transient, retryable, and never silently merged."""
+
+    def __init__(self, message: str, shard: Optional[int] = None):
+        super().__init__(message)
+        self.shard = shard

@@ -57,6 +57,19 @@ class RetryPolicy:
         base = self.backoff_ms * (self.multiplier ** (attempt - 1))
         return base * (1.0 + self.jitter * self._rng.random())
 
+    def retryable(self, exc: BaseException) -> bool:
+        """True when `exc` is transient under this policy.
+
+        `FileNotFoundError` and `RetryExhaustedError` are permanent by
+        nature regardless of `retry_on` -- retrying a missing file or an
+        already-exhausted retry region cannot help.  The serve-path
+        supervision layer shares this classification so a shard retry
+        never spins on a permanent failure.
+        """
+        return (isinstance(exc, self.retry_on)
+                and not isinstance(exc, (FileNotFoundError,
+                                         RetryExhaustedError)))
+
     def call(self, fn: Callable[[], T], metrics=None, op: str = "io") -> T:
         """Run `fn`, retrying transient failures per this policy."""
         labels = {"op": op}
@@ -67,7 +80,7 @@ class RetryPolicy:
             try:
                 result = fn()
             except self.retry_on as exc:
-                if isinstance(exc, (FileNotFoundError, RetryExhaustedError)):
+                if not self.retryable(exc):
                     raise  # permanent by nature; retrying cannot help
                 last_error = exc
                 if attempt == self.max_attempts:

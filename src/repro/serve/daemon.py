@@ -27,8 +27,29 @@ Admission control is explicit and typed (HTTP endpoints below):
   merge keeps only results above the largest bound and reports that
   bound.
 
+The scatter is wrapped in a **self-healing layer** (see
+``docs/RELIABILITY.md`` "Self-healing serving"):
+
+* a `ShardSupervisor` owns the pools; a worker death
+  (`BrokenProcessPool`) quarantines the shard, rebuilds its pool off
+  the critical path, and the request degrades to the healthy shards;
+* one `CircuitBreaker` per shard skips a sick shard outright
+  (closed/open/half-open, consecutive-failure + error-rate trips,
+  seeded-jitter backoff probes) instead of burning the deadline on it;
+* transient shard failures (worker crash, injected fault, corrupt
+  payload) get bounded **in-deadline retries** with
+  `RetryPolicy`-shaped backoff, and optionally a **hedged** duplicate
+  call after ``hedge_ms`` for tail stragglers -- every attempt
+  re-issues `Deadline.to_wire`, so backoff and hedging debit the
+  budget exactly like queue wait does;
+* a degraded response is an honest partial: skipped shards contribute
+  a conservative ``bound`` (max possible score of any result they
+  could hold), the merge keeps only results above it, and the body is
+  marked ``degraded: true``.
+
 Endpoints: ``GET /search`` (complete, document order), ``GET /topk``
-(best-first top-K), ``GET /healthz``, ``GET /stats``, ``GET /metrics``
+(best-first top-K), ``GET /healthz`` (per-shard liveness; 503 only
+when *all* shards are down), ``GET /stats``, ``GET /metrics``
 (Prometheus text), ``POST /cache/clear``.  Query parameters:
 ``q`` (required), ``semantics`` (elca|slca), ``k`` (topk only),
 ``timeout_ms``, ``partial`` (0|1).
@@ -38,11 +59,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import os
 import re
 import signal
 import time
 import urllib.parse
+from concurrent.futures import BrokenExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms.base import ELCA, SEMANTICS, SearchResult
@@ -54,8 +77,12 @@ from ..obs.slo import SLOConfig, SLOTracker
 from ..obs.slowlog import SlowQueryLog
 from ..obs.tracing import NULL_TRACER, Tracer
 from ..reliability.deadline import Deadline
-from ..reliability.errors import DeadlineExceeded
+from ..reliability.errors import (DeadlineExceeded, InjectedFault,
+                                  ShardPayloadError, WorkerCrashError)
+from ..reliability.retry import RetryPolicy
+from .chaos import BYTE_FAULT, ChaosInjector, apply_worker_fault, corrupt_light
 from .merge import ShardedDatabase
+from .supervisor import BreakerConfig, BreakerOpenError, ShardSupervisor
 
 #: Shard id -> per-shard `XMLDatabase`, inherited copy-on-write by the
 #: forked pool workers.  Populated completely before any pool is
@@ -156,7 +183,7 @@ def _serve_shard_topk(payload):
     7th (sidecar) slot together with the rank-join retrieval counters
     and the worker's metric deltas.
     """
-    sid, terms, semantics, k, wire, ctx_wire = payload
+    sid, terms, semantics, k, wire, ctx_wire, fault = payload
     db = _SERVE_DBS.get(sid)
     if db is None:  # pragma: no cover - misuse guard
         return sid, None, False, None, 0.0, RuntimeError(
@@ -169,6 +196,7 @@ def _serve_shard_topk(payload):
     prev_tracer, db.tracer = db.tracer, tracer
     start = time.perf_counter()
     try:
+        deferred = apply_worker_fault(fault)
         with tracer.span("shard_query", shard=sid, terms=list(terms),
                          k=k, pid=os.getpid(),
                          trace_id=ctx.trace_id if ctx else None) as qspan:
@@ -179,6 +207,8 @@ def _serve_shard_topk(payload):
                       levels=top.stats.levels_processed,
                       partial=top.stats.partial)
         light = _light(r for r in top.results if r.level > 1)
+        if deferred == BYTE_FAULT:
+            light = corrupt_light(light)
         elapsed = (time.perf_counter() - start) * 1000.0
         bound = top.bound
         if top.partial and bound is None:
@@ -202,7 +232,7 @@ def _serve_shard_topk(payload):
 
 def _serve_shard_search(payload):
     """Pool entry: one shard's slice of a complete-evaluation scatter."""
-    sid, terms, semantics, wire, ctx_wire = payload
+    sid, terms, semantics, wire, ctx_wire, fault = payload
     db = _SERVE_DBS.get(sid)
     if db is None:  # pragma: no cover - misuse guard
         return sid, None, False, None, 0.0, RuntimeError(
@@ -214,6 +244,7 @@ def _serve_shard_search(payload):
     prev_tracer, db.tracer = db.tracer, tracer
     start = time.perf_counter()
     try:
+        deferred = apply_worker_fault(fault)
         with tracer.span("shard_query", shard=sid, terms=list(terms),
                          pid=os.getpid(),
                          trace_id=ctx.trace_id if ctx else None) as qspan:
@@ -224,6 +255,8 @@ def _serve_shard_search(payload):
                       levels=stats.levels_processed,
                       partial=stats.partial)
         light = _light(r for r in results if r.level > 1)
+        if deferred == BYTE_FAULT:
+            light = corrupt_light(light)
         elapsed = (time.perf_counter() - start) * 1000.0
         _worker_publish(db, "search", stats, stats.partial)
         return (sid, light, stats.partial, None, elapsed, None,
@@ -264,7 +297,8 @@ class _RequestObs:
     requests concurrently on one thread, so each request carries its
     own instead of sharing tracer state."""
 
-    __slots__ = ("shards", "scatter_ms", "merge_ms", "fanout", "mode")
+    __slots__ = ("shards", "scatter_ms", "merge_ms", "fanout", "mode",
+                 "faults", "retries", "hedges", "degraded_shards")
 
     def __init__(self):
         self.shards: List[Dict[str, Any]] = []
@@ -272,6 +306,10 @@ class _RequestObs:
         self.merge_ms = 0.0
         self.fanout = 0
         self.mode = "inline"
+        self.faults: List[str] = []     # chaos kinds injected this request
+        self.retries = 0
+        self.hedges = 0
+        self.degraded_shards: List[int] = []
 
 
 class ServeDaemon:
@@ -310,7 +348,14 @@ class ServeDaemon:
                  tail_sample_rate: float = 1.0,
                  slow_log: Optional[SlowQueryLog] = None,
                  slow_ms: Optional[float] = None,
-                 slo_config: Optional[SLOConfig] = None):
+                 slo_config: Optional[SLOConfig] = None,
+                 breaker: Optional[BreakerConfig] = None,
+                 retry_attempts: int = 2,
+                 retry_backoff_ms: float = 10.0,
+                 hedge_ms: Optional[float] = None,
+                 chaos: Optional[ChaosInjector] = None,
+                 drain_grace_ms: float = 5000.0,
+                 supervision: bool = True):
         self.db = db
         self.host = host
         self.port = port
@@ -332,51 +377,84 @@ class ServeDaemon:
         self.slow_log = slow_log
         # (shard, pid) -> the worker's latest cumulative counter deltas
         self._worker_metrics: Dict[Tuple[int, int], Dict[str, float]] = {}
-        self._pools: List = []
         self._sem: Optional[asyncio.Semaphore] = None
         self._waiting = 0
+        self._inflight_count = 0
+        self._draining = False
+        self._conn_tasks: set = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
         self._started = time.perf_counter()
+        # self-healing layer
+        self.supervision = bool(supervision)
+        self.retry_policy = RetryPolicy(
+            max_attempts=max(1, int(retry_attempts)),
+            backoff_ms=retry_backoff_ms)
+        self.hedge_ms = hedge_ms
+        self.chaos = chaos
+        if chaos is not None and self.workers < 1:
+            raise ValueError("--chaos needs worker pools (workers >= 1); "
+                             "inline evaluation has no shard boundary to "
+                             "inject into")
+        if chaos is not None and chaos.metrics is None:
+            chaos.metrics = self.metrics
+        self.drain_grace_ms = drain_grace_ms
+        self.supervisor = ShardSupervisor(
+            db.n_shards, self.workers,
+            pool_factory=self._make_pool,
+            breaker_config=breaker,
+            metrics=self.metrics)
         # instruments (created eagerly so /metrics shows them at zero)
         reg = self.metrics
         self._queue_depth = reg.gauge("repro_serve_queue_depth")
         self._inflight = reg.gauge("repro_serve_inflight")
         self._queue_wait = reg.histogram("repro_serve_queue_wait_ms")
         self._latency = reg.histogram("repro_serve_latency_ms")
-        for reason in ("queue_full", "deadline"):
+        for reason in ("queue_full", "deadline", "shutting_down"):
             reg.counter("repro_serve_rejects_total", {"reason": reason})
-        for outcome in ("ok", "partial", "error"):
+        for outcome in ("ok", "partial", "degraded", "error"):
             reg.counter("repro_serve_requests_total", {"outcome": outcome})
+        reg.counter("repro_serve_degraded_total")
         for sid in range(db.n_shards):
-            reg.histogram("repro_serve_shard_ms", {"shard": str(sid)})
+            labels = {"shard": str(sid)}
+            reg.histogram("repro_serve_shard_ms", labels)
+            reg.counter("repro_serve_retries_total", labels)
+            reg.counter("repro_serve_hedges_total", labels)
+            reg.counter("repro_serve_shard_skipped_total", labels)
 
     # ------------------------------------------------------------------
     # pools
     # ------------------------------------------------------------------
 
+    def _make_pool(self):
+        """One fork-context executor; `_SERVE_DBS` must be installed
+        first (`_start_pools` guarantees it, including on rebuilds --
+        the supervisor's factory closure is only this method)."""
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        ctx = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=self.workers, mp_context=ctx)
+
     def _start_pools(self) -> None:
         if self.workers < 1:
             return
         import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
 
         try:
-            ctx = multiprocessing.get_context("fork")
+            multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
             self.workers = 0
+            self.supervisor = ShardSupervisor(self.db.n_shards, 0,
+                                              metrics=self.metrics)
             return
         global _SERVE_DBS
         _SERVE_DBS = {sid: shard for sid, shard
                       in enumerate(self.db.shards)}
-        self._pools = [ProcessPoolExecutor(max_workers=self.workers,
-                                           mp_context=ctx)
-                       for _ in range(self.db.n_shards)]
+        self.supervisor.start()
 
     def _stop_pools(self) -> None:
-        for pool in self._pools:
-            pool.shutdown(wait=False, cancel_futures=True)
-        self._pools = []
+        self.supervisor.stop()
 
     # ------------------------------------------------------------------
     # admission
@@ -470,25 +548,200 @@ class ServeDaemon:
                 agg[key] = agg.get(key, 0.0) + value
         return per_shard
 
-    async def _scatter(self, fn, payloads, obs: _RequestObs) -> List[Tuple]:
-        """Run one pool task per qualifying shard, concurrently.
+    # -- self-healing shard calls --------------------------------------
+
+    def _validate_light(self, sid: int, light) -> None:
+        """Structural validation of a shard reply at the pool boundary.
+
+        A corrupt reply (chaos byte-fault, or a real serialization bug)
+        must surface as the typed, retryable `ShardPayloadError` --
+        never be silently rehydrated into wrong results."""
+        if not isinstance(light, list):
+            raise ShardPayloadError(
+                f"shard {sid} reply is {type(light).__name__}, not a "
+                "result list", shard=sid)
+        for item in light:
+            if not isinstance(item, tuple) or len(item) != 4:
+                raise ShardPayloadError(
+                    f"shard {sid} reply entry has shape "
+                    f"{type(item).__name__}[{len(item) if isinstance(item, tuple) else '?'}], want a 4-tuple",
+                    shard=sid)
+            _level, _number, score, _wit = item
+            if not isinstance(score, (int, float)) or not math.isfinite(score):
+                raise ShardPayloadError(
+                    f"shard {sid} reply carries a non-finite score",
+                    shard=sid)
+
+    def _shard_score_bound(self, sid: int, terms: Sequence[str]) -> float:
+        """Conservative cap on the score of *any* result a skipped shard
+        could have contributed, computed parent-side (the parent's index
+        structures are intact even while the shard's pool is dead).
+
+        Per keyword, no occurrence in the shard scores above its max
+        raw posting score (damping is ``base**delta <= 1``), and the
+        combiner's `upper_bound` is monotone, so folding the per-term
+        maxima through it bounds every candidate result in the shard.
+        """
+        idx = self.db.shards[sid].columnar_index
+        per_term: List[float] = []
+        for term in terms:
+            plist = idx.term_postings(term)
+            scores = plist.scores
+            best = float(max(scores)) if len(scores) else 0.0
+            per_term.append(best)
+        return float(self.db.ranking.combiner.upper_bound(per_term))
+
+    async def _submit_once(self, fn, sid: int, make_payload, fault,
+                           obs: _RequestObs):
+        """One pool submission, optionally hedged: if the primary has
+        not answered within ``hedge_ms``, fire a clean duplicate on the
+        same pool and take whichever finishes first (safe: shard
+        queries are read-only).  The loser is left to finish and its
+        result discarded."""
+        pool = self.supervisor.pool(sid)
+        if pool is None:
+            raise WorkerCrashError(
+                f"shard {sid} pool is {self.supervisor.pool_state(sid)}",
+                shard=sid)
+        loop = asyncio.get_running_loop()
+        primary = loop.run_in_executor(pool, fn, make_payload(sid, fault))
+        if self.hedge_ms is None:
+            return await primary
+        try:
+            return await asyncio.wait_for(asyncio.shield(primary),
+                                          self.hedge_ms / 1000.0)
+        except asyncio.TimeoutError:
+            pass
+        self.metrics.counter("repro_serve_hedges_total",
+                             {"shard": str(sid)}).inc()
+        obs.hedges += 1
+        hedge = loop.run_in_executor(pool, fn, make_payload(sid, None))
+        done, pending = await asyncio.wait({primary, hedge},
+                                           return_when=asyncio.FIRST_COMPLETED)
+        for straggler in pending:
+            # consume the loser's eventual result/exception silently
+            straggler.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None)
+        for winner in done:
+            if winner.exception() is None:
+                return winner.result()
+        return (primary if primary in done else next(iter(done))).result()
+
+    async def _call_shard(self, fn, sid: int, make_payload,
+                          deadline: Optional[Deadline],
+                          obs: _RequestObs) -> Tuple:
+        """One shard's supervised slice of the scatter: breaker gate,
+        chaos decision, bounded in-deadline retries, pool healing.
+
+        Always returns the worker outcome 7-tuple; a shard that could
+        not answer returns with the typed error in slot 5 (the merge
+        degrades it), plus a bookkeeping dict for ``obs.shards``.
+        """
+        entry: Dict[str, Any] = {"shard": sid}
+        started = time.perf_counter()
+        breaker = (self.supervisor.breaker(sid) if self.supervision
+                   else None)
+        attempts = (self.retry_policy.max_attempts if self.supervision
+                    else 1)
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, attempts + 1):
+            entry["attempts"] = attempt
+            if breaker is not None and not breaker.allow():
+                self.metrics.counter("repro_serve_shard_skipped_total",
+                                     {"shard": str(sid)}).inc()
+                entry["skipped"] = True
+                last_exc = BreakerOpenError(
+                    f"shard {sid} circuit breaker is {breaker.state}",
+                    shard=sid, reopen_in_ms=breaker.reopen_in_ms())
+                break
+            if (deadline is not None and deadline.budget_ms is not None
+                    and deadline.expired()):
+                if breaker is not None:
+                    breaker.record_success()  # budget death, not shard sickness
+                last_exc = last_exc or DeadlineExceeded(
+                    "budget expired before shard dispatch")
+                break
+            fault = None
+            if self.chaos is not None:
+                fault = self.chaos.next_fault(sid)
+                if fault is not None:
+                    chaos_fault = (fault, self.chaos.latency_ms)
+                    obs.faults.append(fault)
+                    entry.setdefault("faults", []).append(fault)
+                    fault = chaos_fault
+            exc: Optional[BaseException] = None
+            try:
+                outcome = await self._submit_once(fn, sid, make_payload,
+                                                  fault, obs)
+            except BrokenExecutor:
+                try:
+                    self.supervisor.note_pool_broken(sid)
+                    detail = "pool quarantined and rebuilt"
+                except Exception as rebuild_exc:
+                    detail = f"pool rebuild failed: {rebuild_exc}"
+                exc = WorkerCrashError(
+                    f"shard {sid} worker died mid-query; {detail}",
+                    shard=sid)
+            except OSError as os_exc:
+                exc = os_exc
+            else:
+                worker_exc = outcome[5]
+                if worker_exc is None:
+                    try:
+                        self._validate_light(sid, outcome[1])
+                    except ShardPayloadError as payload_exc:
+                        exc = payload_exc
+                    else:
+                        if breaker is not None:
+                            breaker.record_success()
+                        return outcome, entry
+                elif isinstance(worker_exc, DeadlineExceeded):
+                    if breaker is not None:
+                        breaker.record_success()
+                    return outcome, entry
+                else:
+                    exc = worker_exc
+            last_exc = exc
+            if breaker is not None:
+                breaker.record_failure()
+            if attempt >= attempts or not self.retry_policy.retryable(exc):
+                break
+            delay_ms = self.retry_policy.delay_ms(attempt)
+            if (deadline is not None and deadline.budget_ms is not None
+                    and deadline.remaining_ms() <= delay_ms):
+                break  # the backoff alone would outlive the budget
+            self.metrics.counter("repro_serve_retries_total",
+                                 {"shard": str(sid)}).inc()
+            obs.retries += 1
+            await asyncio.sleep(delay_ms / 1000.0)
+        elapsed = (time.perf_counter() - started) * 1000.0
+        return (sid, None, False, None, elapsed, last_exc, None), entry
+
+    async def _scatter(self, fn, shard_ids, make_payload,
+                       deadline: Optional[Deadline],
+                       obs: _RequestObs) -> List[Tuple]:
+        """Run one supervised call per qualifying shard, concurrently.
 
         Fills ``obs.shards`` with each shard's latency / retrieval
-        counts / span tree and absorbs worker metric deltas *before*
-        re-raising a shard failure, so an error trace still shows what
-        the healthy shards did.
+        counts / span tree and absorbs worker metric deltas.  Transient
+        shard failures stay *in* the outcome list (slot 5) for the
+        merge to degrade around; a worker `DeadlineExceeded` or an
+        unexpected (non-transient) error is re-raised after the healthy
+        shards' observability is recorded.
         """
-        loop = asyncio.get_running_loop()
-        futures = [loop.run_in_executor(self._pools[payload[0]], fn,
-                                        payload)
-                   for payload in payloads]
-        outcomes = await asyncio.gather(*futures)
-        first_exc = None
-        for sid, _light, partial, bound, elapsed, exc, extra in outcomes:
+        results = await asyncio.gather(*[
+            self._call_shard(fn, sid, make_payload, deadline, obs)
+            for sid in shard_ids])
+        outcomes: List[Tuple] = []
+        first_deadline: Optional[BaseException] = None
+        first_fatal: Optional[BaseException] = None
+        for outcome, call_entry in results:
+            sid, _light, partial, bound, elapsed, exc, extra = outcome
             self.metrics.histogram("repro_serve_shard_ms",
                                    {"shard": str(sid)}).observe(elapsed)
             entry: Dict[str, Any] = {"shard": sid, "elapsed_ms": elapsed,
                                      "partial": bool(partial)}
+            entry.update(call_entry)
             if bound is not None and bound != float("inf"):
                 entry["bound"] = bound
             if extra:
@@ -500,11 +753,22 @@ class ServeDaemon:
                 entry["trace"] = extra.get("trace")
             if exc is not None:
                 entry["error"] = f"{type(exc).__name__}: {exc}"
-                if first_exc is None:
-                    first_exc = exc
+                if isinstance(exc, DeadlineExceeded):
+                    if first_deadline is None:
+                        first_deadline = exc
+                elif self.supervision and isinstance(
+                        exc, (WorkerCrashError, InjectedFault,
+                              ShardPayloadError, BreakerOpenError, OSError)):
+                    entry["degraded"] = True
+                    obs.degraded_shards.append(sid)
+                elif first_fatal is None:
+                    first_fatal = exc
             obs.shards.append(entry)
-        if first_exc is not None:
-            raise first_exc
+            outcomes.append(outcome)
+        if first_fatal is not None:
+            raise first_fatal
+        if first_deadline is not None:
+            raise first_deadline
         return outcomes
 
     async def _eval_topk(self, terms: List[str], semantics: str, k: int,
@@ -521,24 +785,38 @@ class ServeDaemon:
             return self._payload(top.results, top.partial, top.bound)
         if not db._covered(terms):
             return self._payload([], False, None)
-        wire = deadline.to_wire() if deadline is not None else None
         ctx_wire = (ctx.child("scatter").to_wire()
                     if ctx is not None else None)
+
+        def make_payload(sid, fault):
+            # A fresh wire per attempt: the *remaining* budget travels,
+            # so retry backoff and hedge delay debit the deadline the
+            # same way queue wait already does.
+            wire = deadline.to_wire() if deadline is not None else None
+            return (sid, terms, semantics, k, wire, ctx_wire, fault)
+
         shard_ids = [sid for sid, shard in enumerate(db.shards)
                      if all(t in shard.columnar_index for t in terms)]
         obs.mode = "pool"
         obs.fanout = len(shard_ids)
         started = time.perf_counter()
-        outcomes = await self._scatter(
-            _serve_shard_topk,
-            [(sid, terms, semantics, k, wire, ctx_wire)
-             for sid in shard_ids], obs)
+        outcomes = await self._scatter(_serve_shard_topk, shard_ids,
+                                       make_payload, deadline, obs)
         merging = time.perf_counter()
         obs.scatter_ms = (merging - started) * 1000.0
         merged: List[SearchResult] = []
-        partial, bound = False, None
+        partial, bound, degraded = False, None, False
         for outcome in outcomes:
-            _sid, light, shard_partial, shard_bound = outcome[:4]
+            sid, light, shard_partial, shard_bound, _el, exc = outcome[:6]
+            if exc is not None:
+                # Skipped/failed shard: its results are missing, but no
+                # missed result can outscore the shard's score cap --
+                # fold that cap into the partial bound and stay exact.
+                degraded = True
+                shard_cap = self._shard_score_bound(sid, terms)
+                if bound is None or shard_cap > bound:
+                    bound = shard_cap
+                continue
             merged.extend(self._rehydrate(light))
             if shard_partial:
                 partial = True
@@ -548,10 +826,11 @@ class ServeDaemon:
         if root is not None:
             merged.append(root)
         merged.sort(key=lambda r: (-r.score, r.node.dewey))
-        if partial:
+        if partial or degraded:
+            partial = True
             merged = [r for r in merged if r.score > bound]
         obs.merge_ms = (time.perf_counter() - merging) * 1000.0
-        return self._payload(merged[:k], partial, bound)
+        return self._payload(merged[:k], partial, bound, degraded=degraded)
 
     async def _eval_search(self, terms: List[str], semantics: str,
                            deadline: Optional[Deadline],
@@ -568,24 +847,34 @@ class ServeDaemon:
             return self._payload(results, stats.partial, None)
         if not db._covered(terms):
             return self._payload([], False, None)
-        wire = deadline.to_wire() if deadline is not None else None
         ctx_wire = (ctx.child("scatter").to_wire()
                     if ctx is not None else None)
+
+        def make_payload(sid, fault):
+            wire = deadline.to_wire() if deadline is not None else None
+            return (sid, terms, semantics, wire, ctx_wire, fault)
+
         shard_ids = [sid for sid, shard in enumerate(db.shards)
                      if all(t in shard.columnar_index for t in terms)]
         obs.mode = "pool"
         obs.fanout = len(shard_ids)
         started = time.perf_counter()
-        outcomes = await self._scatter(
-            _serve_shard_search,
-            [(sid, terms, semantics, wire, ctx_wire)
-             for sid in shard_ids], obs)
+        outcomes = await self._scatter(_serve_shard_search, shard_ids,
+                                       make_payload, deadline, obs)
         merging = time.perf_counter()
         obs.scatter_ms = (merging - started) * 1000.0
         merged: List[SearchResult] = []
-        partial = False
+        partial, bound, degraded = False, None, False
         for outcome in outcomes:
-            _sid, light, shard_partial = outcome[:3]
+            sid, light, shard_partial, _b, _el, exc = outcome[:6]
+            if exc is not None:
+                # The healthy shards' results are still exact; the
+                # bound says "anything missing scores at most this".
+                degraded = True
+                shard_cap = self._shard_score_bound(sid, terms)
+                if bound is None or shard_cap > bound:
+                    bound = shard_cap
+                continue
             merged.extend(self._rehydrate(light))
             partial = partial or shard_partial
         if deadline is not None and deadline.expired():
@@ -595,11 +884,12 @@ class ServeDaemon:
             if root is not None:
                 merged.append(root)
         merged.sort(key=lambda r: r.node.dewey)
+        partial = partial or degraded
         obs.merge_ms = (time.perf_counter() - merging) * 1000.0
-        return self._payload(merged, partial, None)
+        return self._payload(merged, partial, bound, degraded=degraded)
 
     def _payload(self, results: Sequence[SearchResult], partial: bool,
-                 bound: Optional[float]) -> dict:
+                 bound: Optional[float], degraded: bool = False) -> dict:
         return {
             "results": [{
                 "dewey": list(r.node.dewey),
@@ -611,6 +901,7 @@ class ServeDaemon:
             "partial": bool(partial),
             "bound": (None if bound is None or bound == float("inf")
                       else bound),
+            "degraded": bool(degraded),
         }
 
     # ------------------------------------------------------------------
@@ -629,7 +920,7 @@ class ServeDaemon:
 
         def finish(status, outcome, terms, semantics, k, *,
                    queue_wait_ms=0.0, result_count=0, partial=False,
-                   bound=None, cached=False):
+                   bound=None, cached=False, degraded=False):
             elapsed_ms = (time.perf_counter() - arrival) * 1000.0
             trace_id = ctx.trace_id if ctx is not None else None
             if ctx is not None:
@@ -637,6 +928,13 @@ class ServeDaemon:
                          "result_count": result_count}
                 if bound is not None:
                     extra["bound"] = bound
+                if degraded:
+                    extra["degraded"] = True
+                    extra["degraded_shards"] = list(obs.degraded_shards)
+                if obs.retries:
+                    extra["retries"] = obs.retries
+                if obs.hedges:
+                    extra["hedges"] = obs.hedges
                 trace = stitch_trace(
                     ctx.trace_id, endpoint, terms, semantics, k, status,
                     outcome, elapsed_ms, queue_wait_ms, shards=obs.shards,
@@ -668,9 +966,11 @@ class ServeDaemon:
                 outcome=outcome, cached=cached,
                 queue_wait_ms=queue_wait_ms, elapsed_ms=elapsed_ms,
                 result_count=result_count, partial=partial, bound=bound,
+                degraded=degraded,
+                chaos=(list(obs.faults) if obs.faults else None),
                 shards=[{key: value for key, value in shard.items()
                          if key != "trace"} for shard in obs.shards])
-            self.slo.record(status, elapsed_ms)
+            self.slo.record(status, elapsed_ms, degraded=degraded)
             return trace_id, elapsed_ms
 
         query = params.get("q", "").strip()
@@ -709,6 +1009,16 @@ class ServeDaemon:
         deadline = Deadline.coerce(None, timeout_ms,
                                    "partial" if partial_ok else "raise")
         terms = self.db._terms(query)
+        if self._draining:
+            # SIGTERM drain: in-flight work finishes, new work gets a
+            # typed rejection so clients fail over instead of hanging.
+            self.metrics.counter("repro_serve_rejects_total",
+                                 {"reason": "shutting_down"}).inc()
+            trace_id, _ = finish(503, "shutting_down", terms, semantics, k)
+            return 503, {"error": {"type": "shutting_down",
+                                   "message": "daemon is draining; "
+                                              "retry another replica"},
+                         "trace_id": trace_id}
         cache_key = result_key(terms, semantics,
                                "serve-" + endpoint, k)
         cached = self.cache.get_results(cache_key)
@@ -749,6 +1059,7 @@ class ServeDaemon:
                                           "message": str(exc)},
                                 "trace_id": trace_id}
         self._inflight.inc()
+        self._inflight_count += 1
         try:
             if endpoint == "topk":
                 body = await self._eval_topk(terms, semantics, k,
@@ -775,17 +1086,23 @@ class ServeDaemon:
                          "trace_id": trace_id}
         finally:
             self._inflight.dec()
+            self._inflight_count -= 1
             self._sem.release()
-        outcome = "partial" if body["partial"] else "ok"
+        degraded = body.get("degraded", False)
+        outcome = ("degraded" if degraded
+                   else "partial" if body["partial"] else "ok")
         self.metrics.counter("repro_serve_requests_total",
                              {"outcome": outcome}).inc()
+        if degraded:
+            self.metrics.counter("repro_serve_degraded_total").inc()
         if not body["partial"]:
             self.cache.put_results(cache_key, [dict(body)])
         trace_id, elapsed_ms = finish(
             200, outcome, terms, semantics, k,
             queue_wait_ms=queue_wait_ms,
             result_count=len(body["results"]),
-            partial=body["partial"], bound=body["bound"])
+            partial=body["partial"], bound=body["bound"],
+            degraded=degraded)
         # The latency exemplar points the histogram bucket back at this
         # request's stitched trace.
         self._latency.observe(elapsed_ms, exemplar=trace_id)
@@ -803,9 +1120,23 @@ class ServeDaemon:
             return 200, "text/plain; version=0.0.4", \
                 self.metrics.render_prometheus()
         if route == "/healthz":
-            return 200, "application/json", json.dumps(
-                {"status": "ok", "shards": self.db.n_shards,
-                 "workers": self.workers})
+            # Per-shard liveness: "ok" needs every shard healthy; a
+            # brownout (dead pool mid-rebuild, open breaker) reports
+            # "degraded" but stays 200 -- load balancers should only
+            # pull the node when *all* shards are down (503), or when
+            # it is draining for shutdown.
+            status = self.supervisor.overall()
+            http_status = 200
+            body = {"status": status, "shards": self.db.n_shards,
+                    "workers": self.workers}
+            if self.workers >= 1 or status != "ok":
+                body["shard_health"] = self.supervisor.health()
+            if self._draining:
+                body["status"] = "draining"
+                http_status = 503
+            elif status == "down":
+                http_status = 503
+            return http_status, "application/json", json.dumps(body)
         if route == "/stats":
             return 200, "application/json", json.dumps({
                 "shards": self.db.n_shards,
@@ -827,6 +1158,17 @@ class ServeDaemon:
                                          else None),
                 },
                 "worker_metrics": self.worker_metrics(),
+                "supervision": {
+                    "enabled": self.supervision,
+                    "retry_attempts": self.retry_policy.max_attempts,
+                    "hedge_ms": self.hedge_ms,
+                    "chaos": (self.chaos.describe()
+                              if self.chaos is not None else None),
+                    "shards": self.supervisor.health(),
+                    "pool_rebuilds": sum(self.supervisor.rebuilds),
+                    "breaker_trips": sum(
+                        b.trips_total for b in self.supervisor.breakers),
+                },
             })
         if route == "/slo":
             return 200, "application/json", json.dumps(self.slo.report())
@@ -866,6 +1208,8 @@ class ServeDaemon:
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
         try:
             while True:
                 try:
@@ -873,6 +1217,11 @@ class ServeDaemon:
                 except (asyncio.IncompleteReadError, ConnectionError):
                     return
                 except asyncio.LimitOverrunError:
+                    return
+                except asyncio.CancelledError:
+                    # stop() cancelling an idle keep-alive; end the
+                    # task cleanly so asyncio.streams' done-callback
+                    # doesn't log the cancellation as an error.
                     return
                 head = raw.decode("latin-1", "replace")
                 request_line, *header_lines = head.split("\r\n")
@@ -889,12 +1238,14 @@ class ServeDaemon:
                 if length:
                     await reader.readexactly(length)
                 status, ctype, body = await self._dispatch(method, path)
-                close = headers.get("connection", "").lower() == "close"
+                close = (headers.get("connection", "").lower() == "close"
+                         or self._draining)
                 payload = body.encode("utf-8")
                 reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                           405: "Method Not Allowed",
                           429: "Too Many Requests", 500: "Internal "
-                          "Server Error", 504: "Gateway Timeout"}.get(
+                          "Server Error", 503: "Service Unavailable",
+                          504: "Gateway Timeout"}.get(
                               status, "Status")
                 writer.write(
                     f"HTTP/1.1 {status} {reason}\r\n"
@@ -906,6 +1257,7 @@ class ServeDaemon:
                 if close:
                     return
         finally:
+            self._conn_tasks.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -925,11 +1277,32 @@ class ServeDaemon:
         if self.port == 0:
             self.port = self._server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
+    async def stop(self, drain: bool = True) -> None:
+        """Stop serving; by default drain gracefully first.
+
+        Drain order: stop accepting new connections, answer new queries
+        on kept-alive connections with typed 503s, wait up to
+        ``drain_grace_ms`` for queued + in-flight requests to reach a
+        terminal status (200 / 504 per their own deadlines), then shut
+        the pools down.  ``drain=False`` is the old hard stop.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain:
+            self._draining = True
+            grace = time.perf_counter() + self.drain_grace_ms / 1000.0
+            while ((self._inflight_count > 0 or self._waiting > 0)
+                   and time.perf_counter() < grace):
+                await asyncio.sleep(0.005)
+        # Whatever connections remain are idle keep-alives (or past the
+        # grace): cancel them so the loop can close without pending tasks.
+        leftover = list(self._conn_tasks)
+        for task in leftover:
+            task.cancel()
+        if leftover:
+            await asyncio.gather(*leftover, return_exceptions=True)
         self._stop_pools()
         self._shutdown.set()
 

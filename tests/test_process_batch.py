@@ -7,11 +7,16 @@ reused pool from `batch_executor`).  The queue-depth gauge returns to
 zero after every run -- thread, process, or failing.
 """
 
+import os
+import signal
+
 import pytest
 
 from repro import XMLDatabase
+from repro import api as api_mod
 from repro.algorithms.base import ExecutionStats
 from repro.obs import MetricsRegistry
+from repro.reliability.errors import WorkerCrashError
 from tests.conftest import SMALL_XML
 
 QUERIES = ["xml data", "keyword search", "data models",
@@ -169,4 +174,105 @@ class TestErrorIsolation:
             db.search_batch(QUERIES, processes=2, use_cache=False,
                             algorithm="no-such-algorithm",
                             raise_on_error=True)
+        assert db.metrics.gauge("repro_batch_queue_depth").value == 0
+
+
+class TestWorkerCrashRecovery:
+    """A worker death (`BrokenProcessPool`) must not fail the batch:
+    the pool is rebuilt once and the doomed queries re-run one at a
+    time, so only a query that *reliably* crashes a worker surfaces --
+    as a typed `WorkerCrashError` entry, not a broken-executor blast.
+
+    The crash is driven through ``api._BATCH_FAULT_HOOK``: installed in
+    the parent before the pool forks, the hook is inherited by every
+    worker (and by the rescue pool's workers) and SIGKILLs on a
+    sentinel query.
+    """
+
+    CRASHER = "keyword crashme"
+
+    def _hook(self, flag_path=None):
+        """SIGKILL the worker on the sentinel query; with a flag path,
+        only the first time (the flag file survives the fork)."""
+
+        def hook(query):
+            if query != self.CRASHER:
+                return
+            if flag_path is not None:
+                if os.path.exists(flag_path):
+                    return
+                open(flag_path, "w").close()
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        return hook
+
+    def test_single_crash_recovers_and_batch_completes(self, tmp_path):
+        db = make_db()
+        queries = [QUERIES[0], self.CRASHER, QUERIES[1], QUERIES[2]]
+        api_mod._BATCH_FAULT_HOOK = self._hook(str(tmp_path / "flag"))
+        try:
+            batch = db.search_batch(queries, processes=2,
+                                    use_cache=False)
+        finally:
+            api_mod._BATCH_FAULT_HOOK = None
+        assert batch.ok, batch.errors
+        assert all(entry is not None for entry in batch)
+        # the crasher's terms minus the sentinel still resolve: its
+        # rerun on the fresh pool returned real results
+        want = db.search_batch(queries, use_cache=False)
+        assert fingerprint(batch) == fingerprint(want)
+        assert db.metrics.counter(
+            "repro_batch_pool_rebuilds_total").value == 1
+        assert db.metrics.gauge("repro_batch_queue_depth").value == 0
+
+    def test_persistent_crasher_gets_typed_error_only(self):
+        db = make_db()
+        queries = [QUERIES[0], self.CRASHER, QUERIES[1]]
+        api_mod._BATCH_FAULT_HOOK = self._hook()   # crashes every time
+        try:
+            batch = db.search_batch(queries, processes=2,
+                                    use_cache=False)
+        finally:
+            api_mod._BATCH_FAULT_HOOK = None
+        assert not batch.ok
+        assert all(isinstance(exc, WorkerCrashError)
+                   for exc in batch.errors.values())
+        assert 1 in batch.errors, "the crasher itself must be blamed"
+        assert batch[1] is None
+        # at most one rebuild even though the rescue pool died too
+        assert db.metrics.counter(
+            "repro_batch_pool_rebuilds_total").value == 1
+        # queries that completed match an inline run
+        inline = db.search_batch(queries, use_cache=False)
+        for index in range(len(queries)):
+            if index not in batch.errors:
+                assert fingerprint(batch)[index] == \
+                    fingerprint(inline)[index]
+        assert db.metrics.gauge("repro_batch_queue_depth").value == 0
+
+    def test_raise_on_error_surfaces_the_crash(self):
+        db = make_db()
+        api_mod._BATCH_FAULT_HOOK = self._hook()
+        try:
+            with pytest.raises(WorkerCrashError):
+                db.search_batch([QUERIES[0], self.CRASHER],
+                                processes=2, use_cache=False,
+                                raise_on_error=True)
+        finally:
+            api_mod._BATCH_FAULT_HOOK = None
+        assert db.metrics.gauge("repro_batch_queue_depth").value == 0
+
+    def test_caller_owned_executor_is_left_to_its_owner(self):
+        """Victims are rescued on a temporary pool; the caller's broken
+        executor is not swapped out behind their back."""
+        db = make_db()
+        pool = db.batch_executor(processes=2)
+        api_mod._BATCH_FAULT_HOOK = self._hook()
+        try:
+            batch = db.search_batch([QUERIES[0], self.CRASHER],
+                                    executor=pool, use_cache=False)
+        finally:
+            api_mod._BATCH_FAULT_HOOK = None
+            pool.shutdown()
+        assert isinstance(batch.errors.get(1), WorkerCrashError)
         assert db.metrics.gauge("repro_batch_queue_depth").value == 0

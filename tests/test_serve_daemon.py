@@ -13,6 +13,7 @@ import asyncio
 import http.client
 import json
 import threading
+import time
 
 import pytest
 
@@ -273,3 +274,97 @@ class TestWorkerPools:
             # fan-out latency histograms saw every shard that ran
             text = h.request("/metrics")[1]
             assert 'repro_serve_shard_ms_count{shard="0"}' in text
+
+
+class TestLifecycleAndHealth:
+    """Daemon lifecycle: per-shard /healthz liveness, drain semantics
+    (SIGTERM path = `stop(drain=True)`), in-flight completion, and
+    clean pool shutdown."""
+
+    def test_healthz_reports_per_shard_liveness(self, sharded):
+        with DaemonHarness(sharded, workers=1) as h:
+            status, body = h.get_json("/healthz")
+            assert status == 200 and body["status"] == "ok"
+            shard_health = body["shard_health"]
+            assert sorted(shard_health) == ["0", "1", "2"]
+            for cell in shard_health.values():
+                assert cell["state"] == "healthy"
+                assert cell["breaker"] == "closed"
+                assert cell["pool"] == "ready"
+                assert cell["rebuilds"] == 0
+
+    def test_503_only_when_every_shard_is_down(self, sharded):
+        with DaemonHarness(sharded, workers=1) as h:
+            sup = h.daemon.supervisor
+            # one dead shard: brownout, the node stays in rotation
+            sup._pool_state[0] = "down"
+            status, body = h.get_json("/healthz")
+            assert status == 200 and body["status"] == "degraded"
+            assert body["shard_health"]["0"]["state"] == "down"
+            assert body["shard_health"]["1"]["state"] == "healthy"
+            # all dead: pull the node
+            for sid in range(3):
+                sup._pool_state[sid] = "down"
+            status, body = h.get_json("/healthz")
+            assert status == 503 and body["status"] == "down"
+            # recovery flips it back without a restart
+            for sid in range(3):
+                sup._pool_state[sid] = "ready"
+            status, body = h.get_json("/healthz")
+            assert status == 200 and body["status"] == "ok"
+
+    def test_draining_daemon_rejects_new_queries_typed(self, sharded):
+        with DaemonHarness(sharded) as h:
+            h.daemon._draining = True
+            try:
+                status, body = h.get_json("/topk?q=alpha&k=3")
+                assert status == 503
+                assert body["error"]["type"] == "shutting_down"
+                assert h.daemon.metrics.counter(
+                    "repro_serve_rejects_total",
+                    {"reason": "shutting_down"}).value == 1
+                status, body = h.get_json("/healthz")
+                assert status == 503 and body["status"] == "draining"
+            finally:
+                h.daemon._draining = False
+
+    def test_graceful_stop_lets_inflight_finish(self, sharded):
+        """`stop(drain=True)` (the SIGTERM path): an in-flight request
+        completes with 200 while the daemon drains, and the pools are
+        shut down afterwards."""
+        h = DaemonHarness(sharded, workers=1, drain_grace_ms=5000.0)
+        with h:
+            daemon = h.daemon
+            inner = daemon._eval_topk
+
+            async def slow_eval(*args, **kwargs):
+                await asyncio.sleep(0.3)
+                return await inner(*args, **kwargs)
+
+            daemon._eval_topk = slow_eval
+            outcome = {}
+
+            def fire():
+                outcome["resp"] = h.get_json(
+                    "/topk?q=alpha+beta&k=5&timeout_ms=10000")
+
+            client = threading.Thread(target=fire)
+            client.start()
+            deadline = time.perf_counter() + 5.0
+            while (daemon._inflight_count == 0
+                   and time.perf_counter() < deadline):
+                time.sleep(0.005)
+            assert daemon._inflight_count == 1, "request never started"
+            asyncio.run_coroutine_threadsafe(daemon.stop(),
+                                             h.loop).result(30)
+            client.join(30)
+            status, body = outcome["resp"]
+            assert status == 200, body
+            assert body["results"], "drained request lost its results"
+            assert daemon._inflight_count == 0
+            sup = daemon.supervisor
+            assert all(sup.pool(sid) is None for sid in range(3))
+            # a post-drain connection attempt is refused: the listener
+            # closed before the drain started
+            with pytest.raises(OSError):
+                h.request("/healthz")
