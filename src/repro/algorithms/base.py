@@ -96,6 +96,20 @@ class ExecutionStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    # Resource accounting (repro.obs.account): bytes the query's
+    # evaluation actually consumed, folded in by `XMLDatabase` from the
+    # active `ResourceAccount`.  Mapped vs copied distinguishes
+    # zero-copy mmap views from whole-payload materializations;
+    # `postings_bytes_read` is the compressed bytes fed to the column
+    # decoders; the cache pair attributes postings-cache hits (bytes a
+    # re-read was avoided for) vs misses (bytes paid to materialize).
+    bytes_mapped: int = 0
+    bytes_copied: int = 0
+    bytes_decompressed: int = 0
+    postings_bytes_read: int = 0
+    columns_decompressed: int = 0
+    cache_bytes_saved: int = 0
+    cache_bytes_paid: int = 0
     # Deadline bookkeeping (repro.reliability): a query stopped by an
     # expired budget under the "partial" policy sets `partial` and
     # counts the bottom-up levels it never reached in `levels_skipped`
@@ -103,6 +117,10 @@ class ExecutionStats:
     partial: bool = False
     levels_skipped: int = 0
     per_level_plan: List[Tuple[int, str]] = field(default_factory=list)
+    # Full per-codec/per-level resource breakdown
+    # (`ResourceAccount.as_dict`); not a counter -- `merge` sums the
+    # nested numeric fields recursively.  None when no accounting ran.
+    resources: Optional[Dict[str, object]] = None
     # EXPLAIN ANALYZE payload (repro.obs.audit.PlanAudit), attached by
     # `XMLDatabase.search(audit=True)` / `explain(analyze=True)`.  Not a
     # counter: `merge` keeps the first non-None audit it sees.
@@ -112,17 +130,23 @@ class ExecutionStats:
         "levels_processed", "joins", "merge_joins", "index_joins",
         "tuples_scanned", "lookups", "candidates_checked",
         "results_emitted", "erasures", "threshold_checks", "cache_hits",
-        "cache_misses", "cache_evictions", "levels_skipped")
+        "cache_misses", "cache_evictions", "bytes_mapped", "bytes_copied",
+        "bytes_decompressed", "postings_bytes_read",
+        "columns_decompressed", "cache_bytes_saved", "cache_bytes_paid",
+        "levels_skipped")
 
     def merge(self, other: "ExecutionStats") -> "ExecutionStats":
         """Fold `other` into this object: counters add, `partial` ORs
         (a batch is partial if any member is), the per-level plan
         concatenates (plan order = fold order).  Returns self, so
         ``sum`` / ``functools.reduce`` folds read naturally."""
+        from ..obs.account import merge_resources
+
         for name in self._COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.partial = self.partial or other.partial
         self.per_level_plan.extend(other.per_level_plan)
+        self.resources = merge_resources(self.resources, other.resources)
         if self.audit is None:
             self.audit = other.audit
         return self
@@ -150,6 +174,13 @@ class ExecutionStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "bytes_mapped": self.bytes_mapped,
+            "bytes_copied": self.bytes_copied,
+            "bytes_decompressed": self.bytes_decompressed,
+            "postings_bytes_read": self.postings_bytes_read,
+            "columns_decompressed": self.columns_decompressed,
+            "cache_bytes_saved": self.cache_bytes_saved,
+            "cache_bytes_paid": self.cache_bytes_paid,
             "partial": self.partial,
             "levels_skipped": self.levels_skipped,
         }

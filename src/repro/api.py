@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from .algorithms.base import (ELCA, EmptyResultError, ExecutionStats,
                               SearchResult, TopKResult, check_semantics,
                               sort_by_score)
+from .obs.account import accounting, fold_into_stats
 from .obs.metrics import MetricsRegistry, get_registry
 from .obs.profiler import PhaseProfiler, profile_phase
 from .obs.slowlog import SlowQueryLog
@@ -426,7 +427,25 @@ class XMLDatabase:
                           observer=None
                           ) -> Tuple[List[SearchResult], ExecutionStats]:
         """Uncached complete-evaluation dispatch shared by `search` and
-        `search_batch`."""
+        `search_batch` (and the daemon's shard workers).
+
+        Evaluation runs under a fresh `ResourceAccount` whose totals
+        fold into the returned stats -- per-query resource truth for
+        every caller, always on (held to the <=5% accounting guard in
+        `repro.bench.serve`).
+        """
+        with accounting() as account:
+            results, stats = self._evaluate_complete(
+                terms, semantics, algorithm, planner, deadline, observer)
+        fold_into_stats(stats, account)
+        return results, stats
+
+    def _evaluate_complete(self, terms: List[str], semantics: str,
+                           algorithm: str,
+                           planner: Optional[JoinPlanner] = None,
+                           deadline: Optional[Deadline] = None,
+                           observer=None
+                           ) -> Tuple[List[SearchResult], ExecutionStats]:
         if algorithm == "join":
             engine = JoinBasedSearch(self.columnar_index, planner,
                                      postings_cache=self.cache,
@@ -519,7 +538,17 @@ class XMLDatabase:
                      k: int,
                      deadline: Optional[Deadline] = None) -> TopKResult:
         """Uncached top-K dispatch shared by `search_topk` and
-        `search_batch`."""
+        `search_batch` (and the daemon's shard workers), accounted the
+        same way as `_complete_results`."""
+        with accounting() as account:
+            top = self._evaluate_topk(terms, semantics, algorithm, k,
+                                      deadline=deadline)
+        fold_into_stats(top.stats, account)
+        return top
+
+    def _evaluate_topk(self, terms: List[str], semantics: str,
+                       algorithm: str, k: int,
+                       deadline: Optional[Deadline] = None) -> TopKResult:
         if algorithm == "topk-join":
             engine = TopKKeywordSearch(self.columnar_index,
                                        tracer=self.tracer)
@@ -1059,10 +1088,42 @@ class XMLDatabase:
                 metrics.counter("repro_level_joins_total",
                                 {"algorithm": "index"}).inc(
                     stats.index_joins)
+            # Resource-accounting totals (repro.obs.account): published
+            # only when the query did physical work, so a cold registry
+            # is not littered with zero series.
+            if stats.bytes_mapped:
+                metrics.counter("repro_query_bytes_mapped_total").inc(
+                    stats.bytes_mapped)
+            if stats.bytes_copied:
+                metrics.counter("repro_query_bytes_copied_total").inc(
+                    stats.bytes_copied)
+            if stats.cache_bytes_saved:
+                metrics.counter("repro_query_bytes_cache_total",
+                                {"outcome": "saved"}).inc(
+                    stats.cache_bytes_saved)
+            if stats.cache_bytes_paid:
+                metrics.counter("repro_query_bytes_cache_total",
+                                {"outcome": "paid"}).inc(
+                    stats.cache_bytes_paid)
+            resources = stats.resources or {}
+            for codec, nbytes in resources.get("by_codec", {}).items():
+                metrics.counter("repro_query_bytes_decompressed_total",
+                                {"codec": codec}).inc(nbytes)
+            for level, count in resources.get("by_level_postings",
+                                              {}).items():
+                metrics.counter("repro_query_postings_scanned_total",
+                                {"level": str(level)}).inc(count)
+            for level, nbytes in resources.get("by_level_bytes",
+                                               {}).items():
+                metrics.counter("repro_query_postings_bytes_total",
+                                {"level": str(level)}).inc(nbytes)
         if self.slow_log is not None:
+            stats_dict = stats.as_dict() if stats is not None else None
+            if stats_dict is not None and stats.resources is not None:
+                stats_dict["resources"] = stats.resources
             self.slow_log.maybe_record(
                 elapsed_ms, terms, semantics, algorithm, k,
-                stats.as_dict() if stats is not None else None, trace_root,
+                stats_dict, trace_root,
                 phases=phases)
 
     # ------------------------------------------------------------------

@@ -75,6 +75,14 @@ GUARDED_OPS = (
     # resilience machinery stays within its <=5% overhead budget as
     # the code evolves.
     "serve_daemon_topk_chaosoff",
+    # Workload-intelligence-PR additions: the microbenchmarked
+    # per-query resource-accounting tail (always-on, so a regression in
+    # the accounting code itself fails the serve series directly), and
+    # the replay p50 -- `repro replay --append` files its report under
+    # scale="replay", building a third independent trajectory that
+    # catches end-to-end slowdowns on a fixed captured workload.
+    "serve_accounting_tail",
+    "replay_query",
 )
 
 

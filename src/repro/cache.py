@@ -24,6 +24,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (Any, Dict, Hashable, List, Optional, Sequence, Tuple)
 
+from .obs.account import active_account, postings_nbytes
+
 _MISSING = object()
 
 
@@ -171,6 +173,7 @@ class QueryCache:
         included) sorted shortest-first with a stable sort, so join
         order is unchanged by caching.
         """
+        account = active_account()
         postings = []
         for term in terms:
             cached = self.postings.get(term, _MISSING)
@@ -179,8 +182,13 @@ class QueryCache:
                     self._postings_miss.inc()
                 cached = index.term_postings(term)
                 self.postings.put(term, cached)
-            elif self.metrics is not None:
-                self._postings_hit.inc()
+                if account is not None:
+                    account.record_cache(False, postings_nbytes(cached))
+            else:
+                if self.metrics is not None:
+                    self._postings_hit.inc()
+                if account is not None:
+                    account.record_cache(True, postings_nbytes(cached))
             postings.append(cached)
         postings.sort(key=len)
         return postings

@@ -9,6 +9,9 @@
     python -m repro serve-batch mydb/ queries.txt --processes 4 -k 10
     python -m repro index bib.xml mydb/ --shards 4   # sharded store
     python -m repro serve mydb/ --workers 2          # HTTP daemon
+    python -m repro serve mydb/ --capture workload.jsonl
+    python -m repro replay workload.jsonl mydb/ --fail-on-mismatch
+    python -m repro doctor mydb/ --check
     python -m repro chaos mydb/ --spec kill=0.05,latency=0.2
     python -m repro info mydb/
     python -m repro trace mydb/ "xml data" --out trace.jsonl
@@ -267,8 +270,61 @@ def cmd_serve(args: argparse.Namespace) -> int:
               open_ms=args.breaker_open_ms),
           drain_grace_ms=args.drain_grace_ms,
           supervision=not args.no_supervision,
-          chaos=chaos)
+          chaos=chaos,
+          capture_path=args.capture)
     return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Index analytics for a saved database directory."""
+    from .obs.doctor import main as doctor_main
+
+    if not os.path.isdir(args.database):
+        raise FileNotFoundError(
+            f"no such database directory: {args.database} "
+            "(repro doctor reads saved directories, not raw XML)")
+    argv = [args.database, "--heavy", str(args.heavy)]
+    if args.workload:
+        argv += ["--workload", args.workload]
+    if args.no_codecs:
+        argv.append("--no-codecs")
+    if args.json:
+        argv.append("--json")
+    if args.out:
+        argv += ["--out", args.out]
+    if args.check:
+        argv += ["--check",
+                 "--max-shard-byte-skew", str(args.max_shard_byte_skew)]
+        if args.max_shard_term_skew is not None:
+            argv += ["--max-shard-term-skew",
+                     str(args.max_shard_term_skew)]
+        if args.max_term_share is not None:
+            argv += ["--max-term-share", str(args.max_term_share)]
+    return doctor_main(argv)
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-drive a captured workload and diff the outcome."""
+    from .bench.replay import main as replay_main
+
+    for path in (args.workload, args.database):
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    argv = [args.workload, args.database, "--mode", args.mode,
+            "--speed", str(args.speed), "--history", args.history]
+    if args.limit is not None:
+        argv += ["--limit", str(args.limit)]
+    if args.against:
+        argv += ["--against", args.against]
+    if args.out:
+        argv += ["--out", args.out]
+    if args.json:
+        argv.append("--json")
+    if args.append:
+        argv.append("--append")
+    if args.fail_on_mismatch:
+        argv.append("--fail-on-mismatch")
+    return replay_main(argv)
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -323,9 +379,22 @@ def cmd_info(args: argparse.Namespace) -> int:
         print(f"nodes:       {len(db)}")
         print(f"shards:      {db.n_shards} (strategy: "
               f"{(db.manifest or {}).get('strategy', 'root-child-mod')})")
+        dirs = (db.manifest or {}).get("dirs") or []
         for sid, shard in enumerate(db.shards):
-            vocab = len(shard.columnar_index.vocabulary)
-            print(f"  shard {sid:>2}:  {vocab} terms")
+            idx = shard.columnar_index
+            vocab = len(idx.vocabulary)
+            postings = sum(len(idx.term_postings(t))
+                           for t in idx.vocabulary)
+            line = (f"  shard {sid:>2}:  {vocab} terms, "
+                    f"{postings} postings")
+            if sid < len(dirs) and os.path.isdir(args.database):
+                shard_dir = os.path.join(args.database, dirs[sid])
+                nbytes = sum(
+                    os.path.getsize(os.path.join(shard_dir, name))
+                    for name in ("columnar.bin", "dewey.bin")
+                    if os.path.exists(os.path.join(shard_dir, name)))
+                line += f", {nbytes / 1024:.1f} KiB on disk"
+            print(line)
         return 0
     inv = db.inverted_index
     print(f"nodes:       {len(db)}")
@@ -721,7 +790,66 @@ def build_parser() -> argparse.ArgumentParser:
                         "'kill=0.02,latency=0.1,latency-ms=50,"
                         "error=0.05,byte=0.01,seed=3' (requires "
                         "--workers >= 1; see docs/RELIABILITY.md)")
+    p.add_argument("--capture", default=None, metavar="PATH",
+                   help="record every answered query (terms, k, arrival "
+                        "offset, result digest, resource account) as a "
+                        "replayable JSONL workload")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("doctor",
+                       help="index analytics: per-term size "
+                            "distribution, compression ratios, shard "
+                            "skew, cache-efficiency estimates")
+    p.add_argument("database", help="saved database directory")
+    p.add_argument("--workload", default=None, metavar="JSONL",
+                   help="captured workload (`serve --capture`) for the "
+                        "cache-efficiency estimate")
+    p.add_argument("--heavy", type=int, default=10,
+                   help="heavy-hitter terms to list")
+    p.add_argument("--no-codecs", action="store_true",
+                   help="skip the per-level/per-codec compression scan")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the report JSON here")
+    p.add_argument("--check", action="store_true",
+                   help="apply thresholds; exit 1 on violation (CI gate)")
+    p.add_argument("--max-shard-byte-skew", type=float, default=1.5,
+                   help="max shard postings-bytes max/mean ratio "
+                        "(default 1.5)")
+    p.add_argument("--max-shard-term-skew", type=float, default=None)
+    p.add_argument("--max-term-share", type=float, default=None,
+                   help="max single-term share of total postings bytes")
+    p.set_defaults(fn=cmd_doctor)
+
+    p = sub.add_parser("replay",
+                       help="re-drive a captured workload against a "
+                            "database and diff digests, latency and "
+                            "resource accounts")
+    p.add_argument("workload", help="repro.workload/v1 JSONL from "
+                                    "`repro serve --capture`")
+    p.add_argument("database", help="database directory to replay "
+                                    "against")
+    p.add_argument("--mode", choices=("closed", "open"), default="closed",
+                   help="closed-loop back-to-back (default) or "
+                        "open-loop at the recorded arrival offsets")
+    p.add_argument("--speed", type=float, default=1.0,
+                   help="open-loop arrival-rate multiplier")
+    p.add_argument("--limit", type=int, default=None,
+                   help="replay only the first N queries")
+    p.add_argument("--against", default=None, metavar="REPORT_JSON",
+                   help="diff against a prior replay report instead of "
+                        "the capture")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the replay report JSON here")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--append", action="store_true",
+                   help="append the report to the regress history "
+                        "(scale=replay)")
+    p.add_argument("--history", default="BENCH_history.jsonl")
+    p.add_argument("--fail-on-mismatch", action="store_true",
+                   help="exit 1 on any digest mismatch or grown "
+                        "resource total")
+    p.set_defaults(fn=cmd_replay)
 
     p = sub.add_parser("chaos",
                        help="seeded chaos drive against an in-process "

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.account import active_account
 from ..obs.profiler import profile_phase
 from ..reliability.deadline import check_active
 from ..reliability.errors import DatabaseCorruptError, DatabaseFormatError
@@ -117,6 +118,14 @@ class LazyColumnarPostings(ColumnarPostings):
             with profile_phase("decompress"):
                 values = decompress_column(scheme, payload,
                                            vectorized=self.vectorized)
+            account = active_account()
+            if account is not None:
+                # v3 payloads are zero-copy views (numpy/memoryview
+                # over the mmap); v1/v2 payloads are bytes copies.
+                account.record_column(
+                    level, scheme, len(payload), int(values.nbytes),
+                    len(values),
+                    not isinstance(payload, (bytes, bytearray)))
         column = Column(level, values, seq_idx)
         self._columns[level] = column
         return column

@@ -26,8 +26,12 @@ Two further instruments added by the plan-quality PR:
   ``repro_phase_time_ms`` histograms and attached to slow-log entries.
 """
 
+from .account import (ResourceAccount, accounting, active_account,
+                      merge_resources, postings_nbytes)
 from .audit import (AuditingJoinPlanner, JoinObservation, LevelAudit,
                     PlanAudit, PlanAuditor, audit_query, q_error)
+from .doctor import (DOCTOR_SCHEMA, doctor_report, format_doctor_report,
+                     run_checks)
 from .distributed import (TRACE_WIRE_VERSION, AccessLog, TailSampler,
                           TraceContext, TraceStore, count_spans,
                           format_access_record, make_span, new_trace_id,
@@ -50,6 +54,7 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_WINDOWS_S",
+    "DOCTOR_SCHEMA",
     "Gauge",
     "Histogram",
     "JoinObservation",
@@ -64,6 +69,7 @@ __all__ = [
     "PlanAudit",
     "PlanAuditor",
     "QueryProfile",
+    "ResourceAccount",
     "SLOConfig",
     "SLOTracker",
     "SLO_SCHEMA",
@@ -76,20 +82,27 @@ __all__ = [
     "TraceContext",
     "TraceStore",
     "Tracer",
+    "accounting",
+    "active_account",
     "active_profile",
     "audit_query",
     "count_spans",
+    "doctor_report",
     "format_access_record",
+    "format_doctor_report",
     "format_slo_report",
     "get_registry",
     "make_span",
+    "merge_resources",
     "new_trace_id",
+    "postings_nbytes",
     "profile_phase",
     "q_error",
     "read_jsonl",
     "render_stitched",
     "render_trace",
     "report_from_records",
+    "run_checks",
     "span_to_wire",
     "spans_per_level_plan",
     "stitch_trace",

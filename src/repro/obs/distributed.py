@@ -367,7 +367,7 @@ class AccessLog:
     FIELDS = ("wall_time", "trace_id", "endpoint", "terms", "semantics",
               "k", "status", "outcome", "cached", "queue_wait_ms",
               "elapsed_ms", "result_count", "partial", "bound",
-              "degraded", "chaos", "shards")
+              "degraded", "chaos", "account", "shards")
 
     def __init__(self, capacity: int = 1024, path: Optional[str] = None):
         self.path = path

@@ -26,6 +26,7 @@ import os
 import threading
 from typing import Dict, Optional, Union
 
+from ..obs.account import active_account
 from .faults import FaultInjector
 from .retry import RetryPolicy
 
@@ -94,6 +95,9 @@ def read_bytes(path: str, injector: Optional[FaultInjector] = None,
     else:
         data = retry.call(attempt, metrics=metrics, op=op)
     COPY_STATS.record(op, len(data))
+    account = active_account()
+    if account is not None:
+        account.record_copy(len(data))
     return data
 
 

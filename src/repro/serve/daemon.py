@@ -70,6 +70,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms.base import ELCA, SEMANTICS, SearchResult
 from ..cache import QueryCache, result_key
+from ..obs.account import merge_resources
 from ..obs.distributed import (AccessLog, TailSampler, TraceContext,
                                TraceStore, stitch_trace)
 from ..obs.metrics import MetricsRegistry, get_registry
@@ -152,6 +153,8 @@ def _shard_extra(db, tracer, stats) -> Dict[str, Any]:
         extra["retrievals"] = stats.tuples_scanned
         extra["emitted"] = stats.results_emitted
         extra["levels"] = stats.levels_processed
+        if stats.resources:
+            extra["account"] = stats.resources
     return extra
 
 
@@ -298,7 +301,8 @@ class _RequestObs:
     own instead of sharing tracer state."""
 
     __slots__ = ("shards", "scatter_ms", "merge_ms", "fanout", "mode",
-                 "faults", "retries", "hedges", "degraded_shards")
+                 "faults", "retries", "hedges", "degraded_shards",
+                 "account")
 
     def __init__(self):
         self.shards: List[Dict[str, Any]] = []
@@ -310,6 +314,8 @@ class _RequestObs:
         self.retries = 0
         self.hedges = 0
         self.degraded_shards: List[int] = []
+        # merged per-shard `ResourceAccount.as_dict` breakdown
+        self.account: Optional[Dict[str, Any]] = None
 
 
 class ServeDaemon:
@@ -355,7 +361,8 @@ class ServeDaemon:
                  hedge_ms: Optional[float] = None,
                  chaos: Optional[ChaosInjector] = None,
                  drain_grace_ms: float = 5000.0,
-                 supervision: bool = True):
+                 supervision: bool = True,
+                 capture_path: Optional[str] = None):
         self.db = db
         self.host = host
         self.port = port
@@ -375,6 +382,11 @@ class ServeDaemon:
         if slow_log is None and slow_ms is not None:
             slow_log = SlowQueryLog(threshold_ms=slow_ms)
         self.slow_log = slow_log
+        self.capture = None
+        if capture_path:
+            from .capture import WorkloadCapture
+            self.capture = WorkloadCapture(capture_path, meta={
+                "shards": db.n_shards, "workers": self.workers})
         # (shard, pid) -> the worker's latest cumulative counter deltas
         self._worker_metrics: Dict[Tuple[int, int], Dict[str, float]] = {}
         self._sem: Optional[asyncio.Semaphore] = None
@@ -750,6 +762,9 @@ class ServeDaemon:
                 for key in ("retrievals", "emitted", "levels", "pid"):
                     if extra.get(key) is not None:
                         entry[key] = extra[key]
+                if extra.get("account"):
+                    obs.account = merge_resources(obs.account,
+                                                  extra["account"])
                 entry["trace"] = extra.get("trace")
             if exc is not None:
                 entry["error"] = f"{type(exc).__name__}: {exc}"
@@ -782,6 +797,7 @@ class ServeDaemon:
                 None, lambda: db.search_topk(terms, k, semantics,
                                              deadline=deadline))
             obs.scatter_ms = (time.perf_counter() - started) * 1000.0
+            obs.account = merge_resources(obs.account, top.stats.resources)
             return self._payload(top.results, top.partial, top.bound)
         if not db._covered(terms):
             return self._payload([], False, None)
@@ -844,6 +860,7 @@ class ServeDaemon:
                                         deadline=deadline,
                                         with_stats=True))
             obs.scatter_ms = (time.perf_counter() - started) * 1000.0
+            obs.account = merge_resources(obs.account, stats.resources)
             return self._payload(results, stats.partial, None)
         if not db._covered(terms):
             return self._payload([], False, None)
@@ -968,6 +985,7 @@ class ServeDaemon:
                 result_count=result_count, partial=partial, bound=bound,
                 degraded=degraded,
                 chaos=(list(obs.faults) if obs.faults else None),
+                account=obs.account,
                 shards=[{key: value for key, value in shard.items()
                          if key != "trace"} for shard in obs.shards])
             self.slo.record(status, elapsed_ms, degraded=degraded)
@@ -1031,6 +1049,11 @@ class ServeDaemon:
             trace_id, elapsed_ms = finish(
                 200, "ok", terms, semantics, k, cached=True,
                 result_count=len(body.get("results", [])))
+            if self.capture is not None:
+                self.capture.record(endpoint, terms, semantics, k,
+                                    body.get("results", []), elapsed_ms,
+                                    cached=True,
+                                    partial=body.get("partial", False))
             body.update(terms=terms, semantics=semantics, cached=True,
                         elapsed_ms=elapsed_ms, trace_id=trace_id)
             return 200, body
@@ -1103,6 +1126,11 @@ class ServeDaemon:
             result_count=len(body["results"]),
             partial=body["partial"], bound=body["bound"],
             degraded=degraded)
+        if self.capture is not None:
+            self.capture.record(endpoint, terms, semantics, k,
+                                body["results"], elapsed_ms,
+                                partial=body["partial"] or degraded,
+                                account=obs.account)
         # The latency exemplar points the histogram bucket back at this
         # request's stitched trace.
         self._latency.observe(elapsed_ms, exemplar=trace_id)
@@ -1304,6 +1332,8 @@ class ServeDaemon:
         if leftover:
             await asyncio.gather(*leftover, return_exceptions=True)
         self._stop_pools()
+        if self.capture is not None:
+            self.capture.close()
         self._shutdown.set()
 
     async def run(self, ready=None) -> None:

@@ -48,6 +48,7 @@ from ..algorithms.base import (ELCA, SLCA, EmptyResultError, ExecutionStats,
                                SearchResult, TopKResult, check_semantics)
 from ..algorithms.topk_keyword import TopKKeywordSearch, _StreamState
 from ..cache import QueryCache, result_key
+from ..obs.account import accounting, fold_into_stats
 from ..reliability.deadline import Deadline
 from ..scoring.ranking import RankingModel
 
@@ -309,19 +310,24 @@ class ShardedDatabase:
                 return (cached, stats) if with_stats else cached
         results: List[SearchResult] = []
         if self._covered(terms):
-            for db in self._qualifying(terms):
-                shard_results, shard_stats = db._complete_results(
-                    terms, semantics, "join", deadline=deadline)
-                stats += shard_stats
-                results.extend(r for r in shard_results if r.level > 1)
-            if deadline is not None and deadline.expired():
-                # partial policy (raise would have thrown above): the
-                # root summary is cheap but unbudgeted work; skip it.
-                stats.partial = True
-            else:
-                root = self._root_result(terms, semantics)
-                if root is not None:
-                    results.append(root)
+            # The shard calls account themselves (their nested account
+            # shadows this one); this account catches the root
+            # protocol's column touches, which run in the facade.
+            with accounting() as account:
+                for db in self._qualifying(terms):
+                    shard_results, shard_stats = db._complete_results(
+                        terms, semantics, "join", deadline=deadline)
+                    stats += shard_stats
+                    results.extend(r for r in shard_results if r.level > 1)
+                if deadline is not None and deadline.expired():
+                    # partial policy (raise would have thrown above): the
+                    # root summary is cheap but unbudgeted work; skip it.
+                    stats.partial = True
+                else:
+                    root = self._root_result(terms, semantics)
+                    if root is not None:
+                        results.append(root)
+            fold_into_stats(stats, account)
             results.sort(key=lambda r: r.node.dewey)
         if use_cache:
             self.cache.put_results(key, results, partial=stats.partial)
@@ -439,10 +445,16 @@ class ShardedDatabase:
         if strict:
             self._check_terms_exist(terms)
         state = _StreamState()
-        generator = self._merged_stream(terms, semantics, stats, state,
-                                        target_k=k, deadline=deadline)
-        results = list(generator)
-        generator.close()
+        # The merged stream drives the shard engines directly (no
+        # XMLDatabase entry point in between), so activate the account
+        # here: per-shard column work and the root protocol both land
+        # on this query's stats.
+        with accounting() as account:
+            generator = self._merged_stream(terms, semantics, stats, state,
+                                            target_k=k, deadline=deadline)
+            results = list(generator)
+            generator.close()
+        fold_into_stats(stats, account)
         stats.partial = state.partial
         return TopKResult(results, stats,
                           terminated_early=not state.finished,

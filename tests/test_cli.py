@@ -119,3 +119,120 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestInfoSharded:
+    """Satellite: `repro info` on a sharded directory breaks the index
+    down per shard -- terms, postings and on-disk bytes."""
+
+    @pytest.fixture
+    def sharded_dir(self, tmp_path, xml_file):
+        from repro.api import XMLDatabase
+        from repro.diskdb import save_database
+
+        with open(xml_file, encoding="utf-8") as handle:
+            db = XMLDatabase.from_xml_text(handle.read())
+        out = str(tmp_path / "db_sharded")
+        save_database(db, out, format_version=3, shards=2)
+        return out
+
+    def test_per_shard_breakdown(self, sharded_dir, capsys):
+        assert main(["info", sharded_dir]) == 0
+        out = capsys.readouterr().out
+        assert "shards:      2" in out
+        assert out.count("terms,") == 2
+        assert out.count("postings") == 2
+        assert out.count("KiB on disk") == 2
+
+    def test_shard_lines_carry_counts(self, sharded_dir, capsys):
+        import re
+
+        assert main(["info", sharded_dir]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if "terms," in l]
+        for line in lines:
+            match = re.search(r"(\d+) terms, (\d+) postings, "
+                              r"([\d.]+) KiB on disk", line)
+            assert match, line
+            assert int(match.group(1)) > 0
+            assert int(match.group(2)) > 0
+            assert float(match.group(3)) > 0
+
+
+class TestMetricsCommand:
+    """Satellite: the offline `repro metrics` path -- runs queries
+    against a database and dumps the registry."""
+
+    def test_json_snapshot_shape(self, db_dir, capsys):
+        import json
+
+        assert main(["metrics", db_dir, "--query", "xml data",
+                     "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) >= {"counters", "gauges", "histograms"}
+        families = set(snapshot["counters"]) | set(snapshot["histograms"])
+        assert any(name.startswith("repro_query") for name in families)
+
+    def test_prometheus_exposition(self, db_dir, capsys):
+        assert main(["metrics", db_dir, "--query", "xml data",
+                     "--query", "keyword search", "-k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out
+        assert "repro_query_latency_ms" in out
+
+    def test_empty_registry_ok(self, capsys):
+        assert main(["metrics", "--json"]) == 0
+        assert isinstance(__import__("json").loads(
+            capsys.readouterr().out), dict)
+
+
+class TestSLOCommand:
+    """Satellite: the offline `repro slo` path against a recorded
+    access log."""
+
+    @pytest.fixture
+    def access_log(self, tmp_path):
+        import json
+        import time
+
+        path = tmp_path / "access.jsonl"
+        now = time.time()
+        records = []
+        for i in range(20):
+            records.append({"wall_time": now - (20 - i),
+                            "status": 200, "outcome": "ok",
+                            "elapsed_ms": 5.0, "endpoint": "topk"})
+        records.append({"wall_time": now, "status": 500,
+                        "outcome": "error", "elapsed_ms": 400.0,
+                        "endpoint": "topk"})
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n",
+                        encoding="utf-8")
+        return str(path)
+
+    def test_report_shape(self, access_log, capsys):
+        import json
+
+        assert main(["slo", access_log, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report.get("schema")
+        assert "windows" in report or "availability" in report
+
+    def test_text_report(self, access_log, capsys):
+        assert main(["slo", access_log]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fail_on_alert_exit(self, access_log):
+        # one 500 in 21 requests burns a 99.9% availability objective
+        code = main(["slo", access_log, "--fail-on-alert",
+                     "--availability-target", "0.999"])
+        assert code in (0, 1)  # depends on burn-rate windows
+        # with an impossible latency objective the alert must fire
+        assert main(["slo", access_log, "--fail-on-alert",
+                     "--latency-target-ms", "0.0001",
+                     "--latency-target-ratio", "1.0"]) == 1
+
+    def test_missing_log_exits_3(self, capsys):
+        from repro.cli import EXIT_MISSING
+
+        assert main(["slo", "/nonexistent.jsonl"]) == EXIT_MISSING
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""Doc-drift guard: every metric family a live daemon exports must
+have a row in docs/OBSERVABILITY.md's reference table.
+
+The test drives an inline daemon (with accounting, tracing, caching
+and a disk-backed v3 sharded database, so as many families as
+possible actually emit), scrapes `/metrics`, extracts the family
+names from the `# TYPE` exposition lines, and greps the doc.  A new
+metric added without a doc row fails here by name.
+"""
+
+import asyncio
+import os
+import re
+
+import pytest
+
+from repro.serve.daemon import ServeDaemon
+from repro.serve.merge import ShardedDatabase
+
+DOC = os.path.join(os.path.dirname(__file__), os.pardir, "docs",
+                   "OBSERVABILITY.md")
+
+#: Families folded in from worker processes keep their origin name
+#: under this prefix; the doc documents the pattern, not each name.
+WILDCARD_PREFIXES = ("repro_worker_",)
+
+
+def _exposition_families(text):
+    families = set()
+    for line in text.splitlines():
+        match = re.match(r"# TYPE (\S+) ", line)
+        if match:
+            families.add(match.group(1))
+    return families
+
+
+@pytest.fixture(scope="module")
+def exposition(tmp_path_factory):
+    """Daemon `/metrics` plus a lazy-v3 database registry: the daemon
+    exposition carries the serve families, the database registry the
+    query-pipeline and resource-accounting families (which inline
+    shards publish into their own registries, not the daemon's)."""
+    from repro.diskdb import load_database, save_database
+    from tests.conftest import SMALL_XML
+    from repro.api import XMLDatabase
+    from repro.obs.metrics import MetricsRegistry
+
+    tmp = tmp_path_factory.mktemp("doc_drift")
+    db = XMLDatabase.from_xml_text(SMALL_XML)
+    path = str(tmp / "db")
+    save_database(db, path, format_version=3, shards=2)
+    sharded = ShardedDatabase.open(path)
+    daemon = ServeDaemon(sharded, workers=0,
+                         access_log_path=str(tmp / "access.jsonl"))
+
+    async def go():
+        await daemon.start()
+        for query in ("/topk?q=xml+data&k=5", "/search?q=keyword+search",
+                      "/topk?q=xml+data&k=5"):
+            status, _, _ = await daemon._dispatch("GET", query)
+            assert status == 200
+        status, _ctype, body = await daemon._dispatch("GET", "/metrics")
+        assert status == 200
+        await daemon.stop()
+        return body
+
+    daemon_text = asyncio.run(go())
+
+    flat_path = str(tmp / "db_flat")
+    save_database(db, flat_path, format_version=3)
+    lazy = load_database(flat_path, lazy=True,
+                         metrics=MetricsRegistry())
+    lazy.search_topk("xml data", 5)
+    lazy.search("keyword search")
+    lazy.search("keyword search")   # result-cache hit
+    return daemon_text + "\n" + lazy.metrics.render_prometheus()
+
+
+def test_every_exported_family_documented(exposition):
+    doc = open(DOC, encoding="utf-8").read()
+    families = _exposition_families(exposition)
+    assert families, "exposition had no # TYPE lines"
+    missing = sorted(
+        name for name in families
+        if name not in doc
+        and not any(name.startswith(p) for p in WILDCARD_PREFIXES))
+    assert not missing, (
+        f"metric families exported by /metrics but absent from "
+        f"docs/OBSERVABILITY.md: {missing}")
+
+
+def test_exposition_covers_core_families(exposition):
+    """The scrape itself must be meaningful: the daemon drive above
+    has to emit the serve, query and accounting families the doc
+    table anchors on."""
+    families = _exposition_families(exposition)
+    for name in ("repro_serve_requests_total", "repro_serve_latency_ms",
+                 "repro_queries_total", "repro_query_latency_ms"):
+        assert name in families, f"{name} missing from the drive"
+
+
+def test_documented_accounting_families_match_code():
+    """The six accounting families in the doc exist in api.py -- a
+    rename on either side fails here."""
+    doc = open(DOC, encoding="utf-8").read()
+    src = open(os.path.join(os.path.dirname(DOC), os.pardir, "src",
+                            "repro", "api.py"), encoding="utf-8").read()
+    for name in ("repro_query_bytes_mapped_total",
+                 "repro_query_bytes_copied_total",
+                 "repro_query_bytes_decompressed_total",
+                 "repro_query_bytes_cache_total",
+                 "repro_query_postings_scanned_total",
+                 "repro_query_postings_bytes_total"):
+        assert name in doc, f"{name} undocumented"
+        assert name in src, f"{name} documented but gone from api.py"

@@ -76,6 +76,14 @@ class TestEquivalence:
 
         inline_stats, inline_counters, inline_latencies = counters(None)
         proc_stats, proc_counters, proc_latencies = counters(2)
+        # Cache attribution is topology-dependent: inline runs share
+        # one postings LRU across all queries, worker processes each
+        # warm their own, so the hit/miss *split* legitimately differs.
+        # The total bytes routed through the cache is conserved.
+        assert (proc_stats.pop("cache_bytes_saved")
+                + proc_stats.pop("cache_bytes_paid")
+                == inline_stats.pop("cache_bytes_saved")
+                + inline_stats.pop("cache_bytes_paid"))
         assert proc_stats == inline_stats
         assert proc_counters == inline_counters
         assert proc_latencies == inline_latencies == len(QUERIES)
