@@ -66,8 +66,10 @@ class JoinBasedSearch:
         Join-algorithm selection policy; defaults to the paper's dynamic
         (context-aware) policy.
     eraser_mode:
-        ``bitmap`` (default) or ``interval`` -- the section III-E
-        range-checking structure; both compute identical results.
+        ``auto`` (default, picks a dense bitmap for small domains and
+        roaring containers above one chunk), ``roaring``, ``bitmap``,
+        or ``interval`` -- the section III-E range-checking structure;
+        all compute identical results.
     vectorized:
         ``True`` (default) checks each level's candidates with bulk
         NumPy operations; ``False`` runs the per-candidate scalar
@@ -84,7 +86,7 @@ class JoinBasedSearch:
 
     def __init__(self, index: ColumnarIndex,
                  planner: Optional[JoinPlanner] = None,
-                 eraser_mode: str = "bitmap",
+                 eraser_mode: str = "auto",
                  vectorized: bool = True,
                  postings_cache=None,
                  tracer=None):
@@ -337,7 +339,7 @@ class JoinBasedSearch:
 
 def search(index: ColumnarIndex, terms: Sequence[str],
            semantics: str = ELCA, planner: Optional[JoinPlanner] = None,
-           eraser_mode: str = "bitmap") -> List[SearchResult]:
+           eraser_mode: str = "auto") -> List[SearchResult]:
     """One-shot convenience wrapper around `JoinBasedSearch.evaluate`."""
     engine = JoinBasedSearch(index, planner, eraser_mode)
     results, _stats = engine.evaluate(terms, semantics)

@@ -1106,6 +1106,13 @@ class XMLDatabase:
                                 {"outcome": "paid"}).inc(
                     stats.cache_bytes_paid)
             resources = stats.resources or {}
+            for outcome, count in resources.get("decode_cache",
+                                                {}).items():
+                if count:
+                    metrics.counter(
+                        "repro_query_decode_cache_total",
+                        {"outcome": "hit" if outcome == "hits"
+                         else "miss"}).inc(count)
             for codec, nbytes in resources.get("by_codec", {}).items():
                 metrics.counter("repro_query_bytes_decompressed_total",
                                 {"codec": codec}).inc(nbytes)

@@ -30,8 +30,14 @@ ELCA evaluation of every workload query), ``erased_counts_scalar`` /
 erasure micro-ops), ``decompress_column_scalar`` /
 ``decompress_column_vectorized`` (decoding the workload terms'
 compressed level columns -- exactly what a lazy v3 load pays when
-serving these queries), ``query_uncached`` / ``query_cached`` (one query
-through `XMLDatabase.search_batch`, result cache cold vs warm).
+serving these queries), ``decode_for_scalar`` / ``decode_for`` (the
+format-v4 FOR/bit-packed codec on the same columns),
+``erase_bitmap_ops_dense`` / ``erase_bitmap_ops`` (the dense-bitmap
+reference vs the roaring eraser's bulk mark+count cycle),
+``decode_cache_miss`` / ``decode_cache_hit`` (cold decode+populate vs
+warm hits through the decoded-column cache on a v4 lazy index),
+``query_uncached`` / ``query_cached`` (one query through
+`XMLDatabase.search_batch`, result cache cold vs warm).
 
 The ``batch_pool`` section times `search_batch` on the XMark corpus
 under the thread pool vs the fork-based process pool at 1/2/4 workers;
@@ -50,7 +56,8 @@ import numpy as np
 
 from ..algorithms.erasure import make_eraser
 from ..algorithms.join_based import JoinBasedSearch
-from ..index.compression import compress_column, decompress_column
+from ..index.compression import (compress_column, decode_for,
+                                 decompress_column, encode_for)
 from ..obs.metrics import get_registry
 from .harness import BenchConfig, Workbench
 
@@ -102,16 +109,16 @@ def _erasure_fixture(seed: int = ERASURE_SEED, size: int = 200_000,
     return size, mark_lows, mark_highs, q_lows, q_highs
 
 
-def _column_payloads(db, queries: List[List[str]]) -> List:
-    """The compressed level columns of every workload term -- the bytes
-    a lazy v3 load decodes when serving these queries."""
+def _column_values(db, queries: List[List[str]]) -> List:
+    """The raw level columns of every workload term -- the values a
+    lazy load decodes when serving these queries."""
     index = db.columnar_index
-    payloads = []
+    columns = []
     for term in sorted({term for query in queries for term in query}):
         postings = index.term_postings(term)
         for level in range(1, postings.max_len + 1):
-            payloads.append(compress_column(postings.column(level).values))
-    return payloads
+            columns.append(postings.column(level).values)
+    return columns
 
 
 def _xmark_batch_queries(db, n_queries: int) -> List[str]:
@@ -235,7 +242,8 @@ def hotpath_report(bench: Workbench, repeats: int = 5,
     mark_bulk_p50 = measure("mark_many_bulk", mark_bulk)
 
     # -- column decode: scalar reference vs numpy-batched -------------
-    payloads = _column_payloads(db, queries)
+    values_list = _column_values(db, queries)
+    payloads = [compress_column(values) for values in values_list]
 
     def decode_all(vectorized: bool):
         for scheme, payload in payloads:
@@ -245,6 +253,58 @@ def hotpath_report(bench: Workbench, repeats: int = 5,
                                 lambda: decode_all(False))
     decode_vector_p50 = measure("decompress_column_vectorized",
                                 lambda: decode_all(True))
+
+    # -- FOR decode: the format-v4 bit-packed codec on the same
+    # workload columns, shift/mask kernels vs the scalar reference ----
+    for_payloads = [encode_for(values) for values in values_list]
+
+    def decode_for_all(vectorized: bool):
+        for blob in for_payloads:
+            decode_for(blob, vectorized=vectorized)
+
+    for_scalar_p50 = measure("decode_for_scalar",
+                             lambda: decode_for_all(False))
+    for_vector_p50 = measure("decode_for", lambda: decode_for_all(True))
+
+    # -- roaring eraser: the v4 default engine's bulk mark + count
+    # cycle vs the dense-bitmap reference on the same fixture ---------
+    def erase_cycle(mode: str):
+        eraser = make_eraser(mode, size)
+        eraser.mark_many(m_lows, m_highs)
+        eraser.erased_counts(q_lows, q_highs)
+
+    erase_dense_p50 = measure("erase_bitmap_ops_dense",
+                              lambda: erase_cycle("bitmap"))
+    erase_roaring_p50 = measure("erase_bitmap_ops",
+                                lambda: erase_cycle("roaring"))
+
+    # -- decoded-column cache: warm hits vs cold decode+populate on a
+    # v4 lazy index serving the workload terms ------------------------
+    from ..cache import DecodedColumnCache
+    from ..index.lazydisk import LazyColumnarIndex
+    from ..index.storage import serialize_columnar_index_v4
+
+    eager_index = db.columnar_index
+    v4_blob = serialize_columnar_index_v4(eager_index)
+    decoded_cache = DecodedColumnCache(64 * 1024 * 1024)
+    lazy_index = LazyColumnarIndex(
+        v4_blob, eager_index.tree, eager_index.tokenizer,
+        eager_index.ranking, verify="off", decoded_cache=decoded_cache)
+    workload_terms = sorted({term for query in queries for term in query})
+
+    def touch_columns():
+        for term in workload_terms:
+            postings = lazy_index.term_postings(term)
+            for level in range(1, postings.max_len + 1):
+                postings.column(level)
+
+    def touch_cold():
+        decoded_cache.clear()
+        touch_columns()
+
+    cache_miss_p50 = measure("decode_cache_miss", touch_cold)
+    touch_columns()   # warm the cache once
+    cache_hit_p50 = measure("decode_cache_hit", touch_columns)
 
     # -- query serving: result cache cold vs warm ---------------------
     query = queries[0]
@@ -279,6 +339,9 @@ def hotpath_report(bench: Workbench, repeats: int = 5,
             "erased_counts": counts_scalar_p50 / counts_bulk_p50,
             "mark_many": mark_scalar_p50 / mark_bulk_p50,
             "decompress_column": decode_scalar_p50 / decode_vector_p50,
+            "decode_for": for_scalar_p50 / for_vector_p50,
+            "erase_bitmap": erase_dense_p50 / erase_roaring_p50,
+            "decode_cache": cache_miss_p50 / cache_hit_p50,
             "result_cache": uncached_p50 / cached_p50,
         },
         "batch_pool": batch_pool_report(bench),

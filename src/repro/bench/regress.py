@@ -26,7 +26,13 @@ noise or machine changes":
   own trajectory;
 * with fewer than `min_history` comparable prior runs the check
   *passes* (there is nothing trustworthy to compare against -- the
-  first runs on a fresh environment just seed the series).
+  first runs on a fresh environment just seed the series);
+* a regression must clear the relative threshold **and** an absolute
+  floor (`min_delta_ms`, default 0.05ms): several guarded ops sit in
+  the tens of microseconds, where a "+30%" swing is a handful of
+  microseconds of allocator/timer jitter, not a code change.  Ops in
+  the millisecond range are unaffected -- any >15% move on them dwarfs
+  the floor.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ DEFAULT_HISTORY = "BENCH_history.jsonl"
 DEFAULT_THRESHOLD = 0.15   # >15% p50 regression fails
 DEFAULT_WINDOW = 5         # trailing runs the median is taken over
 DEFAULT_MIN_HISTORY = 2    # comparable priors needed before checking
+DEFAULT_MIN_DELTA_MS = 0.05  # absolute p50 growth a regression must show
 
 # The ops the CI gate guards: the serving hot path.  The scalar
 # reference ops are deliberately absent -- they exist to measure
@@ -83,6 +90,13 @@ GUARDED_OPS = (
     # catches end-to-end slowdowns on a fixed captured workload.
     "serve_accounting_tail",
     "replay_query",
+    # Format-v4-PR additions to the hot-path series: the FOR/bit-packed
+    # column decode, the roaring eraser's bulk mark+count cycle (the
+    # engines' new default), and warm decoded-column-cache hits -- the
+    # three codepaths the v4 codec generation is betting on.
+    "decode_for",
+    "erase_bitmap_ops",
+    "decode_cache_hit",
 )
 
 
@@ -216,6 +230,7 @@ class RegressionReport:
 
     checked: bool            # False when history was insufficient
     threshold: float
+    min_delta_ms: float = DEFAULT_MIN_DELTA_MS
     deltas: List[OpDelta] = field(default_factory=list)
     reason: Optional[str] = None   # why nothing was checked
     # Guarded ops that could not be compared, each with why.  A newly
@@ -224,9 +239,13 @@ class RegressionReport:
     # is what keeps "PASS" honest about its coverage.
     skipped: List[Tuple[str, str]] = field(default_factory=list)
 
+    def _regressed(self, delta: OpDelta) -> bool:
+        return (delta.delta > self.threshold
+                and delta.latest_ms - delta.baseline_ms > self.min_delta_ms)
+
     @property
     def regressions(self) -> List[OpDelta]:
-        return [d for d in self.deltas if d.delta > self.threshold]
+        return [d for d in self.deltas if self._regressed(d)]
 
     @property
     def ok(self) -> bool:
@@ -236,9 +255,10 @@ class RegressionReport:
         if not self.checked:
             return f"regress: PASS (not checked: {self.reason})"
         lines = [f"regress: {'PASS' if self.ok else 'FAIL'} "
-                 f"(threshold {self.threshold:+.0%} on p50)"]
+                 f"(threshold {self.threshold:+.0%} on p50, floor "
+                 f"{self.min_delta_ms:g}ms)"]
         for delta in self.deltas:
-            marker = "  !! " if delta.delta > self.threshold else "     "
+            marker = "  !! " if self._regressed(delta) else "     "
             lines.append(marker + delta.format())
         for op, why in self.skipped:
             lines.append(f"     -- {op}: not checked ({why})")
@@ -252,10 +272,12 @@ def check(history: List[Dict[str, Any]],
           threshold: float = DEFAULT_THRESHOLD,
           window: int = DEFAULT_WINDOW,
           min_history: int = DEFAULT_MIN_HISTORY,
+          min_delta_ms: float = DEFAULT_MIN_DELTA_MS,
           ops: Sequence[str] = GUARDED_OPS) -> RegressionReport:
     """Compare the newest entry against its comparable trailing median."""
     if not history:
         return RegressionReport(checked=False, threshold=threshold,
+                                min_delta_ms=min_delta_ms,
                                 reason="empty history")
     latest = history[-1]
     priors = [entry for entry in history[:-1]
@@ -263,11 +285,13 @@ def check(history: List[Dict[str, Any]],
     if len(priors) < min_history:
         return RegressionReport(
             checked=False, threshold=threshold,
+            min_delta_ms=min_delta_ms,
             reason=f"{len(priors)} comparable prior runs "
                    f"(need {min_history}) for scale="
                    f"{latest.get('scale')!r} on this environment")
     tail = priors[-window:]
-    report = RegressionReport(checked=True, threshold=threshold)
+    report = RegressionReport(checked=True, threshold=threshold,
+                              min_delta_ms=min_delta_ms)
     for op in ops:
         latest_p50 = _op_p50(latest, op)
         if latest_p50 is None:
@@ -305,6 +329,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--window", type=int, default=DEFAULT_WINDOW)
     parser.add_argument("--min-history", type=int,
                         default=DEFAULT_MIN_HISTORY)
+    parser.add_argument("--min-delta-ms", type=float,
+                        default=DEFAULT_MIN_DELTA_MS,
+                        help="absolute p50 growth a regression must "
+                             "also show (default 0.05ms; filters "
+                             "microsecond jitter on the fastest ops)")
     args = parser.parse_args(argv)
 
     if not args.append and not args.check:
@@ -321,7 +350,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.check:
         verdict = check(load_history(args.history),
                         threshold=args.threshold, window=args.window,
-                        min_history=args.min_history)
+                        min_history=args.min_history,
+                        min_delta_ms=args.min_delta_ms)
         print(verdict.format())
         if not verdict.ok:
             return 1

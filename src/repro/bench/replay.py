@@ -136,7 +136,13 @@ def run_replay(workload_path: str, db_path: str, mode: str = "closed",
         t0 = time.perf_counter()
         payload, resources = _evaluate(db, entry)
         latencies.append((time.perf_counter() - t0) * 1000.0)
-        replay_accounts.append(resources)
+        # Diff like with like: an entry the capture never accounted
+        # (served from the daemon's result cache) re-executes here, and
+        # its cache-attribution counters (`cache_bytes_saved`) would
+        # register as a spurious delta against a capture that recorded
+        # nothing for it.  Its digest is still compared.
+        replay_accounts.append(
+            resources if entry.get("account") is not None else None)
         if entry.get("partial"):
             # A deadline/degradation partial is not reproducible by
             # construction; its digest is informational only.

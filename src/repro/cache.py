@@ -10,6 +10,12 @@ the two caches `XMLDatabase` wires in:
 * a **result cache** keyed by ``(terms, semantics, algorithm, k)``; a
   hit skips level evaluation entirely.
 
+A third, independent cache serves the disk-backed index:
+`DecodedColumnCache` is a byte-budget LRU of decoded columns keyed by
+``(namespace, term, level)``, wired into `LazyColumnarPostings` so hot
+terms skip per-column decompression on repeat queries while cold
+decoded arrays get evicted instead of pinned forever.
+
 Both are bounded LRUs with hit/miss/eviction counters; every operation
 takes the cache lock, so a `QueryCache` can be shared by the threads of
 `XMLDatabase.search_batch`.  Entries are treated as immutable: callers
@@ -100,6 +106,107 @@ class LRUCache:
         """Snapshot of the current keys (LRU order, oldest first)."""
         with self._lock:
             return list(self._data.keys())
+
+
+class DecodedColumnCache:
+    """A byte-budget LRU of *decoded* columns, shared across the lazy
+    postings of one database.
+
+    The disk-backed index otherwise caches every decoded column forever
+    inside the postings object that produced it -- correct, but
+    unbounded.  This cache replaces that per-postings dict with one
+    bounded pool: entries are `(namespace, term, level) -> Column`, the
+    budget counts the decoded arrays' ``nbytes``, and eviction is
+    least-recently-used.  Hot terms keep skipping decompression on
+    repeat queries; cold terms stop pinning their decoded columns.
+
+    ``capacity_bytes <= 0`` disables storage (every `get` misses, `put`
+    is a no-op).  A single oversized column (larger than the whole
+    budget) is never admitted.  All operations take the cache lock, so
+    one instance can serve concurrent batch / daemon workers.
+    """
+
+    def __init__(self, capacity_bytes: int = 32 * 1024 * 1024,
+                 metrics=None):
+        self.capacity_bytes = int(capacity_bytes)
+        self.current_bytes = 0
+        self.stats = CacheStats()
+        self._data: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.metrics = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics) -> None:
+        """Publish lookup counters / occupancy gauges into `metrics`."""
+        self.metrics = metrics
+        self._hit_counter = metrics.counter(
+            "repro_cache_requests_total",
+            {"cache": "decoded", "outcome": "hit"})
+        self._miss_counter = metrics.counter(
+            "repro_cache_requests_total",
+            {"cache": "decoded", "outcome": "miss"})
+        metrics.gauge("repro_cache_hit_ratio",
+                      {"cache": "decoded"}).set_fn(self.hit_ratio)
+
+    def hit_ratio(self) -> float:
+        total = self.stats.hits + self.stats.misses
+        return self.stats.hits / total if total else 0.0
+
+    def get(self, key: Hashable):
+        """The cached `Column` for `key`, or ``None`` on a miss."""
+        with self._lock:
+            entry = self._data.get(key, _MISSING)
+            if entry is _MISSING:
+                self.stats.misses += 1
+                if self.metrics is not None:
+                    self._miss_counter.inc()
+                return None
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            if self.metrics is not None:
+                self._hit_counter.inc()
+            return entry[0]
+
+    def put(self, key: Hashable, column, nbytes: Optional[int] = None
+            ) -> None:
+        """Admit `column` at a cost of `nbytes` (defaults to the sum of
+        its decoded arrays' ``nbytes``), evicting LRU entries until the
+        budget holds."""
+        if self.capacity_bytes <= 0:
+            return
+        if nbytes is None:
+            nbytes = int(column.values.nbytes) + int(column.seq_idx.nbytes)
+        nbytes = int(nbytes)
+        if nbytes > self.capacity_bytes:
+            return
+        with self._lock:
+            old = self._data.pop(key, None)
+            if old is not None:
+                self.current_bytes -= old[1]
+            self._data[key] = (column, nbytes)
+            self.current_bytes += nbytes
+            while self.current_bytes > self.capacity_bytes and self._data:
+                _, (_, dropped) = self._data.popitem(last=False)
+                self.current_bytes -= dropped
+                self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.current_bytes = 0
+            self.stats = CacheStats()
+
+    def as_dict(self) -> Dict[str, int]:
+        snapshot = self.stats.as_dict()
+        snapshot["bytes"] = self.current_bytes
+        snapshot["capacity_bytes"] = self.capacity_bytes
+        snapshot["entries"] = len(self)
+        return snapshot
 
 
 ResultKey = Tuple[Tuple[str, ...], str, str, Optional[int]]

@@ -121,10 +121,14 @@ def cmd_index(args: argparse.Namespace) -> int:
     db.columnar_index
     db.inverted_index
     if args.shards:
-        db.save(args.output, shards=args.shards)
+        shard_fmt = args.format_version if args.format_version in (3, 4) \
+            else 3
+        db.save(args.output, shards=args.shards,
+                format_version=shard_fmt)
         print(f"indexed {len(db)} nodes "
               f"({len(db.inverted_index.vocabulary)} terms) -> "
-              f"{args.output} ({args.shards} shards, format v3)")
+              f"{args.output} ({args.shards} shards, "
+              f"format v{shard_fmt})")
         return 0
     db.save(args.output, format_version=args.format_version)
     print(f"indexed {len(db)} nodes "
@@ -142,9 +146,12 @@ def cmd_generate(args: argparse.Namespace) -> int:
     db.columnar_index
     db.inverted_index
     if args.shards:
-        db.save(args.output, shards=args.shards)
+        shard_fmt = args.format_version if args.format_version in (3, 4) \
+            else 3
+        db.save(args.output, shards=args.shards,
+                format_version=shard_fmt)
         print(f"generated {args.corpus}: {len(db)} nodes -> {args.output} "
-              f"({args.shards} shards, format v3)")
+              f"({args.shards} shards, format v{shard_fmt})")
         return 0
     db.save(args.output, format_version=args.format_version)
     print(f"generated {args.corpus}: {len(db)} nodes -> {args.output} "
@@ -371,10 +378,53 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _print_format_info(path: str) -> None:
+    """Container format version + per-codec column mix, read straight
+    from the on-disk containers (v3/v4; earlier formats report only
+    their version)."""
+    import json
+
+    meta_path = os.path.join(path, "meta.json")
+    if not os.path.exists(meta_path):
+        return
+    with open(meta_path, "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    version = meta.get("format_version")
+    print(f"format:      v{version}")
+    if version not in (3, 4):
+        return
+    from .index.storage import parse_v3_payload, parse_v4_payload
+    from .obs.doctor import _scan_columnar, _shard_dirs
+
+    mix: dict = {}
+    keepalive = []
+    for _label, shard_dir in _shard_dirs(path, meta):
+        columnar = os.path.join(shard_dir, "columnar.bin")
+        if not os.path.exists(columnar):
+            continue
+        fmt, _algorithm, data, refs, mapped = _scan_columnar(columnar)
+        keepalive.append(mapped)
+        parse = parse_v4_payload if fmt == "v4" else parse_v3_payload
+        for ref in refs:
+            payload = data[ref.offset: ref.offset + ref.length]
+            _lengths, _scores, level_payloads = parse(ref.term, payload)
+            for scheme, _column in level_payloads:
+                mix[scheme] = mix.get(scheme, 0) + 1
+    if mix:
+        total = sum(mix.values())
+        parts = ", ".join(
+            f"{codec} {count} ({count / total:.0%})"
+            for codec, count in sorted(mix.items(),
+                                       key=lambda kv: (-kv[1], kv[0])))
+        print(f"codecs:      {parts}")
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     db = _load(args.database)
     from .serve import ShardedDatabase
 
+    if os.path.isdir(args.database):
+        _print_format_info(args.database)
     if isinstance(db, ShardedDatabase):
         print(f"nodes:       {len(db)}")
         print(f"shards:      {db.n_shards} (strategy: "
@@ -655,14 +705,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("index", help="index an XML file into a database")
     p.add_argument("xml_file")
     p.add_argument("output", help="database directory to create")
-    p.add_argument("--format-version", type=int, choices=(1, 2, 3),
+    p.add_argument("--format-version", type=int, choices=(1, 2, 3, 4),
                    default=2,
                    help="on-disk format: 2 = blocked+checksummed "
                         "(default), 3 = block-aligned zero-copy mmap, "
-                        "1 = legacy bare blobs")
+                        "4 = v3 layout with adaptive per-column codecs "
+                        "(FOR/varint join rle/delta), 1 = legacy bare "
+                        "blobs")
     p.add_argument("--shards", type=int, default=None,
                    help="partition the index into N subtree-affine "
-                        "shards (forces format v3; see docs/SERVING.md)")
+                        "shards (format v3, or v4 with "
+                        "--format-version 4; see docs/SERVING.md)")
     p.set_defaults(fn=cmd_index)
 
     p = sub.add_parser("generate",
@@ -674,14 +727,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="DBLP paper count")
     p.add_argument("--scale", type=float, default=0.01,
                    help="XMark scale factor")
-    p.add_argument("--format-version", type=int, choices=(1, 2, 3),
+    p.add_argument("--format-version", type=int, choices=(1, 2, 3, 4),
                    default=2,
                    help="on-disk format: 2 = blocked+checksummed "
                         "(default), 3 = block-aligned zero-copy mmap, "
-                        "1 = legacy bare blobs")
+                        "4 = v3 layout with adaptive per-column codecs "
+                        "(FOR/varint join rle/delta), 1 = legacy bare "
+                        "blobs")
     p.add_argument("--shards", type=int, default=None,
                    help="partition the index into N subtree-affine "
-                        "shards (forces format v3; see docs/SERVING.md)")
+                        "shards (format v3, or v4 with "
+                        "--format-version 4; see docs/SERVING.md)")
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("serve-batch",

@@ -76,7 +76,7 @@ from .scoring.ranking import DampingFunction, RankingModel
 from .xmltree.parser import parse_xml
 
 FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2, 3)
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 _DOCUMENT = "document.xml"
 _META = "meta.json"
@@ -148,8 +148,9 @@ def save_database(db: XMLDatabase, path: str,
 
     ``format_version`` selects the on-disk format: 2 (default, blocked
     checksummed containers), 3 (block-aligned columnar container that
-    loads zero-copy from an mmap) or 1 (legacy bare blobs, no
-    checksums -- kept writable for round-trip tests).
+    loads zero-copy from an mmap), 4 (the v3 container with per-column
+    adaptive codec selection over rle/delta/varint/for) or 1 (legacy
+    bare blobs, no checksums -- kept writable for round-trip tests).
 
     Bytes written are published as ``repro_disk_bytes_written_total``
     in the process metrics registry.
@@ -165,11 +166,12 @@ def save_database(db: XMLDatabase, path: str,
     metrics = get_registry()
     algorithm = algorithm if algorithm is not None else DEFAULT_ALGORITHM
     if shards is not None:
-        if format_version not in (None, 3):
+        if format_version not in (None, 3, 4):
             raise ValueError("sharded databases require format version 3 "
-                             f"(got {format_version!r})")
+                             f"or 4 (got {format_version!r})")
+        shard_version = 3 if format_version is None else int(format_version)
         return _save_sharded(db, path, int(shards), algorithm, fsync,
-                             metrics)
+                             metrics, shard_version)
     version = FORMAT_VERSION if format_version is None else int(format_version)
     if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unknown format version {version!r}; "
@@ -181,7 +183,11 @@ def save_database(db: XMLDatabase, path: str,
         dewey_blob = storage.serialize_inverted_index(
             db.inverted_index, score_mode=storage.SCORES_EXACT)
     else:
-        if version == 3:
+        if version == 4:
+            columnar_blob = storage.serialize_columnar_index_v4(
+                db.columnar_index, score_mode=storage.SCORES_EXACT,
+                algorithm=algorithm)
+        elif version == 3:
             columnar_blob = storage.serialize_columnar_index_v3(
                 db.columnar_index, score_mode=storage.SCORES_EXACT,
                 algorithm=algorithm)
@@ -227,14 +233,18 @@ def _shard_dir(sid: int) -> str:
 
 
 def _save_sharded(db: XMLDatabase, path: str, n_shards: int,
-                  algorithm: str, fsync: bool, metrics) -> None:
-    """Write the sharded layout: one v3 columnar + one blocked Dewey
+                  algorithm: str, fsync: bool, metrics,
+                  version: int = 3) -> None:
+    """Write the sharded layout: one v3/v4 columnar + one blocked Dewey
     container per root-child-subtree shard, one shared document, one
     manifest.  Same atomic commit discipline as the flat layout."""
     from .serve.sharding import partition_columnar, partition_inverted
 
     if n_shards < 1:
         raise ValueError("shards must be >= 1")
+    serialize_columnar = (storage.serialize_columnar_index_v4
+                          if version == 4
+                          else storage.serialize_columnar_index_v3)
     document = db.tree.to_xml().encode("utf-8")
     columnar = db.columnar_index
     inverted = db.inverted_index
@@ -246,7 +256,7 @@ def _save_sharded(db: XMLDatabase, path: str, n_shards: int,
 
     data_files = [(_DOCUMENT, document)]
     for sid in range(n_shards):
-        col_blob = storage.serialize_columnar_index_v3(
+        col_blob = serialize_columnar(
             storage.PostingsView(col_shards[sid]),
             score_mode=storage.SCORES_EXACT, algorithm=algorithm)
         dew_blob = storage.serialize_inverted_index_blocked(
@@ -257,7 +267,7 @@ def _save_sharded(db: XMLDatabase, path: str, n_shards: int,
         data_files.append((os.path.join(_shard_dir(sid), _DEWEY),
                            dew_blob))
     meta = {
-        "format_version": 3,
+        "format_version": version,
         "jdewey_gap": db.encoder.gap,
         "n_docs": inverted.n_docs,
         "damping_base": db.ranking.damping.base,
@@ -294,6 +304,7 @@ def load_database(path: str,
                   injector: Optional[FaultInjector] = None,
                   retry: Optional[RetryPolicy] = None,
                   vectorized: bool = True,
+                  decoded_cache_bytes: int = 32 * 1024 * 1024,
                   **db_kwargs):
     """Open a directory written by `save_database`.
 
@@ -323,6 +334,12 @@ def load_database(path: str,
       columnar mmap to a plain (fault-observable) read.
     * ``vectorized`` -- use the numpy batched column decoders
       (default); ``False`` falls back to the scalar reference decoders.
+    * ``decoded_cache_bytes`` -- byte budget of the shared
+      decoded-column LRU on the lazy path (default 32 MiB; ``0``
+      disables it, reverting to unbounded per-postings caching).  One
+      cache serves all shards of a sharded database; hot terms skip
+      column decompression on repeat queries and bill the saving to the
+      query's `ResourceAccount`.
 
     A format-v3 database maps ``columnar.bin`` instead of reading it:
     the returned database holds the mapping for its lifetime and column
@@ -338,6 +355,12 @@ def load_database(path: str,
                          f"one of {_VERIFY_MODES}")
     metrics = get_registry()
     bytes_read = metrics.counter("repro_disk_bytes_read_total")
+    decoded_cache = None
+    if lazy and decoded_cache_bytes > 0:
+        from .cache import DecodedColumnCache
+
+        decoded_cache = DecodedColumnCache(decoded_cache_bytes,
+                                           metrics=metrics)
     if retry is None and injector is not None:
         retry = DEFAULT_POLICY
 
@@ -473,11 +496,15 @@ def load_database(path: str,
                 columnar_source, tree, tokenizer, ranking,
                 verify=verify if version >= 2 else "off",
                 source=columnar_rel, metrics=metrics,
-                vectorized=vectorized)
+                vectorized=vectorized, decoded_cache=decoded_cache)
             lazy_index.n_docs = n_docs
             db._columnar = lazy_index
         else:
-            if version >= 3:
+            if version == 4:
+                columnar_postings = storage.deserialize_columnar_index_v4(
+                    columnar_blob, verify=False, file=columnar_rel,
+                    vectorized=vectorized)
+            elif version == 3:
                 columnar_postings = storage.deserialize_columnar_index_v3(
                     columnar_blob, verify=False, file=columnar_rel,
                     vectorized=vectorized)

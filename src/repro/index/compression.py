@@ -34,7 +34,8 @@ mapping without an intermediate copy.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple, Union
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +44,18 @@ RLE_DISTINCT_RATIO = 0.5
 
 SCHEME_DELTA = "delta"
 SCHEME_RLE = "rle"
+SCHEME_VARINT = "varint"
+SCHEME_FOR = "for"
+
+#: Stable on-disk codec ids.  Format v3 containers only ever wrote ids
+#: 0/1; format v4 records the adaptive selector's choice here, so
+#: `decompress_column` dispatches on the recorded id without sniffing.
+SCHEME_IDS = {SCHEME_RLE: 0, SCHEME_DELTA: 1, SCHEME_VARINT: 2,
+              SCHEME_FOR: 3}
+SCHEME_NAMES = {sid: name for name, sid in SCHEME_IDS.items()}
+
+#: The candidate set the format-v4 adaptive selector measures.
+V4_CODECS = (SCHEME_RLE, SCHEME_DELTA, SCHEME_FOR, SCHEME_VARINT)
 
 #: The widest value any numpy-backed consumer can represent: decoded
 #: columns land in int64/uint64 arrays, so a varint that does not fit
@@ -320,6 +333,250 @@ def _decode_rle_scalar(data: ByteSource) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
+# Scheme 3: plain varint stream (format v4)
+# ---------------------------------------------------------------------------
+#
+# The degenerate member of the v4 candidate set: no modelling at all,
+# just LEB128 bytes.  It exists so the adaptive selector has an honest
+# floor -- a column whose deltas are *larger* than its values (it
+# happens at level 1, where one sequence per subtree makes the column
+# nearly uniform-random) should not be forced through delta coding.
+
+def encode_varint_column(values: Sequence[int]) -> bytes:
+    """Encode a column as ``varint(count) | varint(value)...``."""
+    out = bytearray()
+    write_varint(out, len(values))
+    for value in values:
+        write_varint(out, int(value))
+    return bytes(out)
+
+
+def decode_varint_column(data: ByteSource,
+                         vectorized: bool = True) -> np.ndarray:
+    """Decode a plain varint column; ``vectorized=False`` runs the
+    scalar reference loop."""
+    if not vectorized:
+        return _decode_varint_column_scalar(data)
+    stream = decode_varints_vectorized(data)
+    if stream.size < 1:
+        raise ValueError("varint column truncated inside the header")
+    count = int(stream[0])
+    values = stream[1:]
+    if values.size != count:
+        raise ValueError(
+            f"varint column carries {values.size} values, header says "
+            f"{count}")
+    return values.astype(np.int64)
+
+
+def _decode_varint_column_scalar(data: ByteSource) -> np.ndarray:
+    pos = 0
+    count, pos = read_varint(data, pos)
+    values = np.empty(count, dtype=np.int64)
+    for i in range(count):
+        value, pos = read_varint(data, pos)
+        values[i] = np.uint64(value).astype(np.int64)
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Scheme 4: frame-of-reference + fixed bit-width packing (format v4)
+# ---------------------------------------------------------------------------
+#
+# Layout (all integers little-endian, bit stream MSB-first)::
+#
+#     u32 count | u32 block_size
+#     u64 bases[n_blocks]        per-block frame-of-reference minimum
+#     u8  widths[n_blocks]       bits per packed value (0..64)
+#     per block: ceil(n * width / 8) packed bytes, byte-aligned
+#
+# A block of identical values has width 0 and **zero** payload bytes --
+# the single-value / constant-run case costs 9 bytes per block, total.
+# Unlike the varint family, every region is fixed-width given the
+# header, so the vectorized decoder is pure numpy shift/mask arithmetic
+# over an 8-byte gather window per value -- no per-byte boundary scan
+# at all (the Lemire & Boytsov bit-packing discipline).
+
+_FOR_HEADER_BYTES = 8
+
+
+def _for_block_layout(count: int, block_size: int
+                      ) -> Tuple[int, np.ndarray]:
+    """(n_blocks, per-block value counts) for a FOR column."""
+    if block_size < 1:
+        raise ValueError(f"invalid FOR block size {block_size}")
+    n_blocks = (count + block_size - 1) // block_size
+    block_n = np.full(n_blocks, block_size, dtype=np.int64)
+    if n_blocks:
+        block_n[-1] = count - (n_blocks - 1) * block_size
+    return n_blocks, block_n
+
+
+def encode_for(values: Sequence[int],
+               block_size: int = DEFAULT_BLOCK_SIZE) -> bytes:
+    """Encode a column with per-block frame-of-reference bit packing."""
+    if block_size < 1:
+        raise ValueError(f"invalid FOR block size {block_size}")
+    count = len(values)
+    arr = np.asarray(values, dtype=np.uint64)
+    out = bytearray()
+    out.extend(int(count).to_bytes(4, "little"))
+    out.extend(int(block_size).to_bytes(4, "little"))
+    n_blocks, _block_n = _for_block_layout(count, block_size)
+    bases = np.empty(n_blocks, dtype=np.uint64)
+    widths = bytearray(n_blocks)
+    packed: List[bytes] = []
+    for b in range(n_blocks):
+        block = arr[b * block_size: (b + 1) * block_size]
+        base = block.min()
+        bases[b] = base
+        deltas = block - base           # uint64, exact: base is the min
+        top = int(deltas.max())
+        width = top.bit_length()
+        widths[b] = width
+        if width == 0:
+            packed.append(b"")
+            continue
+        # MSB-first bit matrix -> np.packbits; the stream is byte-
+        # aligned per block so the decoder's offsets stay arithmetic.
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        bits = ((deltas[:, None] >> shifts[None, :])
+                & np.uint64(1)).astype(np.uint8)
+        packed.append(np.packbits(bits.ravel()).tobytes())
+    out.extend(bases.tobytes())
+    out.extend(widths)
+    for blob in packed:
+        out.extend(blob)
+    return bytes(out)
+
+
+def decode_for(data: ByteSource, vectorized: bool = True) -> np.ndarray:
+    """Decode a FOR column; ``vectorized=False`` runs the scalar
+    reference loop (bit-at-a-time, the differential oracle)."""
+    if not vectorized:
+        return _decode_for_scalar(data)
+    arr = as_byte_array(data)
+    if arr.size < _FOR_HEADER_BYTES:
+        raise ValueError("FOR column truncated inside the header")
+    header = arr[:8].view(np.uint32)
+    count = int(header[0])
+    block_size = int(header[1])
+    n_blocks, block_n = _for_block_layout(count, block_size)
+    tables_end = _FOR_HEADER_BYTES + 9 * n_blocks
+    if arr.size < tables_end:
+        raise ValueError("FOR column truncated inside the block tables")
+    bases = arr[_FOR_HEADER_BYTES: _FOR_HEADER_BYTES + 8 * n_blocks] \
+        .view(np.uint64)
+    widths = arr[_FOR_HEADER_BYTES + 8 * n_blocks: tables_end] \
+        .astype(np.int64)
+    if n_blocks and int(widths.max()) > 64:
+        raise ValueError("FOR block width exceeds 64 bits")
+    block_bytes = (block_n * widths + 7) >> 3
+    payload_len = int(block_bytes.sum())
+    if arr.size != tables_end + payload_len:
+        raise ValueError(
+            f"FOR column carries {arr.size - tables_end} payload bytes, "
+            f"header says {payload_len}")
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    bases_rep = np.repeat(bases, block_n)
+    max_width = int(widths.max())
+    if max_width == 0:
+        return bases_rep.astype(np.int64)
+    # Per-value coordinates, all derived arithmetically from the header.
+    block_starts = np.concatenate(
+        ([0], np.cumsum(block_bytes)))[:-1]      # bytes, payload-relative
+    wv = np.repeat(widths, block_n)              # width per value
+    pos_in_block = np.arange(count, dtype=np.int64) \
+        - np.repeat(np.arange(n_blocks, dtype=np.int64) * block_size,
+                    block_n)
+    sv = np.repeat(block_starts << 3, block_n) \
+        + pos_in_block * wv                      # start bit per value
+    # Gather a big-endian window at each value's start byte; the value
+    # is then a shift/mask away.  Zero padding lets tail windows gather
+    # safely.  Three tiers by the column's widest block: a 4-byte
+    # uint32 window covers bit_off + width <= 32 (the common dewey
+    # range), an 8-byte uint64 window covers width <= 57, and only
+    # wider values pay for the ninth "tail" byte.
+    payload = np.concatenate((arr[tables_end:],
+                              np.zeros(16, dtype=np.uint8)))
+    byte_start = sv >> 3
+    if max_width <= 25:
+        b0 = payload[byte_start].astype(np.uint32)
+        b1 = payload[byte_start + 1].astype(np.uint32)
+        b2 = payload[byte_start + 2].astype(np.uint32)
+        b3 = payload[byte_start + 3].astype(np.uint32)
+        take4 = ((b0 << np.uint32(24)) | (b1 << np.uint32(16))
+                 | (b2 << np.uint32(8)) | b3)
+        bit_off = (sv & 7).astype(np.uint32)
+        w_safe = np.maximum(wv, 1).astype(np.uint32)
+        deltas = ((take4 << bit_off)
+                  >> (np.uint32(32) - w_safe)).astype(np.uint64)
+    else:
+        from numpy.lib.stride_tricks import sliding_window_view
+        windows = sliding_window_view(payload, 8)
+        take8 = windows[byte_start].view(">u8")[:, 0].astype(np.uint64)
+        bit_off = (sv & 7).astype(np.uint64)
+        w_safe = np.maximum(wv, 1).astype(np.uint64)
+        deltas = (take8 << bit_off) >> (np.uint64(64) - w_safe)
+        if max_width > 57:
+            # A value wider than (64 - bit offset) spills into a ninth
+            # byte; its low `missing` bits come from that byte's top
+            # bits (the spilled region of `deltas` is zero-filled by
+            # the left shift, so OR-ing is exact).
+            missing = np.maximum(bit_off.astype(np.int64) + wv - 64, 0) \
+                .astype(np.uint64)
+            tail = payload[byte_start + 8].astype(np.uint64)
+            deltas |= tail >> (np.uint64(8) - missing)
+    if int(widths.min()) == 0:
+        deltas = np.where(wv == 0, np.uint64(0), deltas)
+    return (bases_rep + deltas).astype(np.int64)
+
+
+def _decode_for_scalar(data: ByteSource) -> np.ndarray:
+    """Bit-at-a-time FOR reference decoder."""
+    arr = as_byte_array(data)
+    if len(arr) < _FOR_HEADER_BYTES:
+        raise ValueError("FOR column truncated inside the header")
+    count = int.from_bytes(bytes(arr[0:4]), "little")
+    block_size = int.from_bytes(bytes(arr[4:8]), "little")
+    n_blocks, block_n = _for_block_layout(count, block_size)
+    tables_end = _FOR_HEADER_BYTES + 9 * n_blocks
+    if len(arr) < tables_end:
+        raise ValueError("FOR column truncated inside the block tables")
+    values = np.empty(count, dtype=np.int64)
+    pos = tables_end          # payload cursor, in bytes
+    out = 0
+    for b in range(n_blocks):
+        base = int.from_bytes(
+            bytes(arr[_FOR_HEADER_BYTES + 8 * b:
+                      _FOR_HEADER_BYTES + 8 * b + 8]), "little")
+        width = int(arr[_FOR_HEADER_BYTES + 8 * n_blocks + b])
+        if width > 64:
+            raise ValueError("FOR block width exceeds 64 bits")
+        n = int(block_n[b])
+        nbytes = (n * width + 7) >> 3
+        if pos + nbytes > len(arr):
+            raise ValueError("FOR payload runs off the end")
+        for i in range(n):
+            delta = 0
+            for j in range(width):
+                bit_index = i * width + j
+                byte = int(arr[pos + (bit_index >> 3)])
+                bit = (byte >> (7 - (bit_index & 7))) & 1
+                delta = (delta << 1) | bit
+            values[out] = np.uint64((base + delta)
+                                    & VARINT_MAX).astype(np.int64)
+            out += 1
+        pos += nbytes
+    if pos != len(arr):
+        raise ValueError(
+            f"FOR column carries {len(arr) - tables_end} payload bytes, "
+            "more than its blocks describe")
+    return values
+
+
+# ---------------------------------------------------------------------------
 # Scheme selection
 # ---------------------------------------------------------------------------
 
@@ -345,23 +602,98 @@ def compress_column(values: Sequence[int],
     return SCHEME_DELTA, encode_delta_blocks(values, block_size)
 
 
+_ENCODERS = {
+    SCHEME_RLE: lambda values, block_size: encode_rle(values),
+    SCHEME_DELTA: encode_delta_blocks,
+    SCHEME_VARINT: lambda values, block_size: encode_varint_column(values),
+    SCHEME_FOR: encode_for,
+}
+
+
+def choose_codec(values: Sequence[int],
+                 codecs: Sequence[str] = V4_CODECS,
+                 block_size: int = DEFAULT_BLOCK_SIZE
+                 ) -> Tuple[str, bytes]:
+    """Format-v4 adaptive selector: encode every candidate and keep the
+    smallest payload.
+
+    Ties break in ``codecs`` order, so the choice is deterministic for
+    a given candidate tuple.  The winner's scheme id is recorded in the
+    v4 container, which is what lets `decompress_column` dispatch
+    without sniffing payload bytes.
+
+    A candidate that cannot encode the column (rle and delta demand
+    sorted input; FOR and varint take anything non-negative) simply
+    drops out of the running -- the selector only fails when *no*
+    candidate can.
+    """
+    best: Optional[Tuple[str, bytes]] = None
+    last_error: Optional[ValueError] = None
+    for scheme in codecs:
+        try:
+            encoder = _ENCODERS[scheme]
+        except KeyError:
+            raise ValueError(f"unknown compression scheme {scheme!r}")
+        try:
+            payload = encoder(values, block_size)
+        except ValueError as exc:
+            last_error = exc
+            continue
+        if best is None or len(payload) < len(best[1]):
+            best = (scheme, payload)
+    if best is None:
+        if last_error is not None:
+            raise ValueError(
+                f"no candidate codec in {tuple(codecs)!r} can encode "
+                f"this column: {last_error}") from last_error
+        raise ValueError("choose_codec needs at least one candidate codec")
+    return best
+
+
 # Below this payload size the numpy batch decode's fixed setup cost
 # exceeds the whole scalar loop (crossover measured around 150 varints),
 # so `decompress_column(vectorized=True)` is adaptive: tiny columns take
 # the scalar loop, everything else the vectorized decoders.  The decoder
 # entry points themselves stay pure so the two paths remain
-# differentially testable on any input size.
+# differentially testable on any input size.  The crossover is tunable:
+# per call via the `min_bytes` keyword, per process via the
+# REPRO_VECTORIZED_MIN_BYTES environment variable (read at call time so
+# tests and operators can flip it without reimporting).
 VECTORIZED_MIN_BYTES = 256
+
+_MIN_BYTES_ENV = "REPRO_VECTORIZED_MIN_BYTES"
+
+
+def vectorized_min_bytes() -> int:
+    """The active scalar/vectorized crossover threshold in bytes."""
+    raw = os.environ.get(_MIN_BYTES_ENV)
+    if raw is not None:
+        try:
+            return int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{_MIN_BYTES_ENV} must be an integer, got {raw!r}")
+    return VECTORIZED_MIN_BYTES
+
+
+_DECODERS = {
+    SCHEME_RLE: decode_rle,
+    SCHEME_DELTA: decode_delta_blocks,
+    SCHEME_VARINT: decode_varint_column,
+    SCHEME_FOR: decode_for,
+}
 
 
 def decompress_column(scheme: str, data: ByteSource,
-                      vectorized: bool = True) -> np.ndarray:
-    vectorized = vectorized and len(data) >= VECTORIZED_MIN_BYTES
-    if scheme == SCHEME_RLE:
-        return decode_rle(data, vectorized=vectorized)
-    if scheme == SCHEME_DELTA:
-        return decode_delta_blocks(data, vectorized=vectorized)
-    raise ValueError(f"unknown compression scheme {scheme!r}")
+                      vectorized: bool = True,
+                      min_bytes: Optional[int] = None) -> np.ndarray:
+    threshold = vectorized_min_bytes() if min_bytes is None else min_bytes
+    vectorized = vectorized and len(data) >= threshold
+    try:
+        decoder = _DECODERS[scheme]
+    except KeyError:
+        raise ValueError(f"unknown compression scheme {scheme!r}")
+    return decoder(data, vectorized=vectorized)
 
 
 def uncompressed_size(values: Sequence[int], width_bytes: int = 4) -> int:

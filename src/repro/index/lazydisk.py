@@ -31,9 +31,10 @@ from ..xmltree.tree import Node, XMLTree
 from .columnar import Column, ColumnarPostings
 from .compression import decompress_column, read_varint
 from .storage import (_MAGIC_COLUMNAR, _MAGIC_COLUMNAR_BLOCKED,
-                      _MAGIC_COLUMNAR_V3, _PARSE_ERRORS, BlockRef,
-                      parse_v3_payload, scan_blocked_container,
-                      scan_v3_container, verify_block)
+                      _MAGIC_COLUMNAR_V3, _MAGIC_COLUMNAR_V4,
+                      _PARSE_ERRORS, BlockRef, parse_v3_payload,
+                      parse_v4_payload, scan_blocked_container,
+                      scan_v3_container, scan_v4_container, verify_block)
 from .tokenizer import Tokenizer
 
 
@@ -68,7 +69,8 @@ class LazyColumnarPostings(ColumnarPostings):
                  level_payloads: List[Tuple[str, bytes]],
                  scores: Sequence[float],
                  io_stats: Optional[IOStats] = None,
-                 vectorized: bool = True, metrics=None):
+                 vectorized: bool = True, metrics=None,
+                 decoded_cache=None, cache_ns: str = ""):
         # Deliberately *not* calling super().__init__: the whole point
         # is to avoid building `seqs`.  When backed by a format-v3 mmap
         # the lengths/scores/payload buffers are read-only numpy views
@@ -82,6 +84,14 @@ class LazyColumnarPostings(ColumnarPostings):
         self.io = io_stats if io_stats is not None else IOStats()
         self.vectorized = vectorized
         self.metrics = metrics
+        # Optional shared `cache.DecodedColumnCache`.  When present it
+        # replaces the unbounded per-postings `_columns` dict for the
+        # payload-bearing levels: decoded columns live in one bounded
+        # LRU keyed (namespace, term, level) instead of being pinned
+        # here forever.  Empty columns (level > max_len) stay local --
+        # they cost nothing and need no eviction.
+        self._decoded_cache = decoded_cache
+        self._cache_ns = cache_ns
 
     @property
     def seqs(self):
@@ -98,6 +108,19 @@ class LazyColumnarPostings(ColumnarPostings):
         cached = self._columns.get(level)
         if cached is not None:
             return cached
+        shared = (self._decoded_cache
+                  if self._decoded_cache is not None
+                  and level <= self.max_len else None)
+        if shared is not None:
+            key = (self._cache_ns, self.term, level)
+            hit = shared.get(key)
+            if hit is not None:
+                account = active_account()
+                if account is not None:
+                    account.record_decode_cache(
+                        True,
+                        int(hit.values.nbytes) + int(hit.seq_idx.nbytes))
+                return hit
         mask = self.lengths >= level
         seq_idx = np.nonzero(mask)[0].astype(np.int64)
         if level > self.max_len:
@@ -127,7 +150,14 @@ class LazyColumnarPostings(ColumnarPostings):
                     len(values),
                     not isinstance(payload, (bytes, bytearray)))
         column = Column(level, values, seq_idx)
-        self._columns[level] = column
+        if shared is not None:
+            nbytes = int(values.nbytes) + int(seq_idx.nbytes)
+            account = active_account()
+            if account is not None:
+                account.record_decode_cache(False, nbytes)
+            shared.put(key, column, nbytes)
+        else:
+            self._columns[level] = column
         return column
 
     def value_at(self, ordinal: int, level: int) -> int:
@@ -138,7 +168,8 @@ class LazyColumnarPostings(ColumnarPostings):
 
 def parse_lazy_postings(data: bytes, pos: int = 0,
                         io_stats: Optional[IOStats] = None,
-                        vectorized: bool = True, metrics=None
+                        vectorized: bool = True, metrics=None,
+                        decoded_cache=None, cache_ns: str = ""
                         ) -> Tuple[LazyColumnarPostings, int]:
     """Parse one term written by `storage.serialize_columnar_postings`,
     keeping the column payloads compressed."""
@@ -174,13 +205,16 @@ def parse_lazy_postings(data: bytes, pos: int = 0,
         raise ValueError(f"unknown score mode {score_mode}")
     return LazyColumnarPostings(term, lengths, payloads, scores,
                                 io_stats, vectorized=vectorized,
-                                metrics=metrics), pos
+                                metrics=metrics,
+                                decoded_cache=decoded_cache,
+                                cache_ns=cache_ns), pos
 
 
 def parse_lazy_postings_v3(term: str, payload,
                            io_stats: Optional[IOStats] = None,
                            vectorized: bool = True, metrics=None,
-                           file: Optional[str] = None
+                           file: Optional[str] = None,
+                           decoded_cache=None, cache_ns: str = ""
                            ) -> LazyColumnarPostings:
     """Wrap one format-v3 payload (a memoryview slice of the mmap) as
     lazy postings whose lengths/scores/columns are zero-copy views."""
@@ -188,7 +222,25 @@ def parse_lazy_postings_v3(term: str, payload,
                                                        file=file)
     return LazyColumnarPostings(term, lengths, level_payloads, scores,
                                 io_stats, vectorized=vectorized,
-                                metrics=metrics)
+                                metrics=metrics,
+                                decoded_cache=decoded_cache,
+                                cache_ns=cache_ns)
+
+
+def parse_lazy_postings_v4(term: str, payload,
+                           io_stats: Optional[IOStats] = None,
+                           vectorized: bool = True, metrics=None,
+                           file: Optional[str] = None,
+                           decoded_cache=None, cache_ns: str = ""
+                           ) -> LazyColumnarPostings:
+    """Wrap one format-v4 payload as zero-copy lazy postings."""
+    lengths, scores, level_payloads = parse_v4_payload(term, payload,
+                                                       file=file)
+    return LazyColumnarPostings(term, lengths, level_payloads, scores,
+                                io_stats, vectorized=vectorized,
+                                metrics=metrics,
+                                decoded_cache=decoded_cache,
+                                cache_ns=cache_ns)
 
 
 class LazyColumnarIndex:
@@ -199,9 +251,10 @@ class LazyColumnarIndex:
     `IOStats` instrument records every decompression.
 
     Accepts the bare v1 blob (``JDXC``), the checksummed blocked v2
-    container (``JDXB``) and the aligned v3 container (``JDX3``) --
-    the latter usually as a `reliability.io.MappedFile`, in which case
-    every column materializes as a zero-copy view over the mapping.
+    container (``JDXB``) and the aligned v3/v4 containers (``JDX3`` /
+    ``JDX4``) -- the latter usually as a `reliability.io.MappedFile`,
+    in which case every column materializes as a zero-copy view over
+    the mapping.
     For v2/v3 the ``verify`` mode controls when block checksums are
     checked:
 
@@ -222,7 +275,8 @@ class LazyColumnarIndex:
                  tokenizer: Optional[Tokenizer] = None,
                  ranking: Optional[RankingModel] = None,
                  verify: str = "lazy", source: Optional[str] = None,
-                 metrics=None, vectorized: bool = True):
+                 metrics=None, vectorized: bool = True,
+                 decoded_cache=None):
         if verify not in ("lazy", "eager", "off"):
             raise ValueError(f"unknown verify mode {verify!r}; "
                              "one of ('lazy', 'eager', 'off')")
@@ -234,6 +288,11 @@ class LazyColumnarIndex:
         self.source = source
         self.metrics = metrics
         self.vectorized = vectorized
+        # Shared decoded-column cache (see `cache.DecodedColumnCache`).
+        # The namespace keeps keys distinct when one cache serves
+        # several indexes (e.g. the shards of one database).
+        self._decoded_cache = decoded_cache
+        self._cache_ns = source if source else f"idx-{id(self):x}"
         # `blob` may be bytes or a `reliability.io.MappedFile`; holding
         # the backing object here is what keeps the mmap (and every
         # numpy view into it) alive for the index's lifetime.
@@ -251,7 +310,8 @@ class LazyColumnarIndex:
             for _ in range(n_terms):
                 postings, pos = parse_lazy_postings(
                     blob, pos, self.io, vectorized=vectorized,
-                    metrics=metrics)
+                    metrics=metrics, decoded_cache=decoded_cache,
+                    cache_ns=self._cache_ns)
                 self._postings[postings.term] = postings
         elif magic == _MAGIC_COLUMNAR_BLOCKED:
             self._format = 2
@@ -264,6 +324,14 @@ class LazyColumnarIndex:
         elif magic == _MAGIC_COLUMNAR_V3:
             self._format = 3
             self._algorithm, refs = scan_v3_container(
+                self._blob, file=source)
+            self._blocks = {ref.term: ref for ref in refs}
+            if verify == "eager":
+                for term in list(self._blocks):
+                    self._parse_block(term)
+        elif magic == _MAGIC_COLUMNAR_V4:
+            self._format = 4
+            self._algorithm, refs = scan_v4_container(
                 self._blob, file=source)
             self._blocks = {ref.term: ref for ref in refs}
             if verify == "eager":
@@ -292,14 +360,24 @@ class LazyColumnarIndex:
                                        file=self.source)
             else:
                 payload = self._blob[ref.offset: ref.offset + ref.length]
-            if self._format == 3:
+            if self._format == 4:
+                postings = parse_lazy_postings_v4(
+                    term, payload, self.io, vectorized=self.vectorized,
+                    metrics=self.metrics, file=self.source,
+                    decoded_cache=self._decoded_cache,
+                    cache_ns=self._cache_ns)
+            elif self._format == 3:
                 postings = parse_lazy_postings_v3(
                     term, payload, self.io, vectorized=self.vectorized,
-                    metrics=self.metrics, file=self.source)
+                    metrics=self.metrics, file=self.source,
+                    decoded_cache=self._decoded_cache,
+                    cache_ns=self._cache_ns)
             else:
                 postings, _ = parse_lazy_postings(
                     payload, 0, self.io, vectorized=self.vectorized,
-                    metrics=self.metrics)
+                    metrics=self.metrics,
+                    decoded_cache=self._decoded_cache,
+                    cache_ns=self._cache_ns)
         except DatabaseCorruptError:
             if self.metrics is not None:
                 self.metrics.counter(

@@ -34,7 +34,8 @@ from ..reliability.checksum import (ALGORITHM_IDS, ALGORITHM_NAMES,
 from ..reliability.errors import DatabaseCorruptError, DatabaseFormatError
 from ..xmltree.dewey import Dewey
 from .columnar import ColumnarIndex, ColumnarPostings
-from .compression import (compress_column, decompress_column, read_varint,
+from .compression import (SCHEME_IDS, SCHEME_NAMES, V4_CODECS, choose_codec,
+                          compress_column, decompress_column, read_varint,
                           varint_size, write_varint)
 from .inverted import InvertedIndex, Posting, PostingList
 from .sparse import DEFAULT_GRANULARITY, SparseColumnIndex
@@ -545,8 +546,15 @@ def guarded_deserialize_inverted(data: bytes, file: str = None
 #
 # The Dewey file of a v3 database stays in the v2 blocked format -- it
 # is only read by the eager consistency pass, never on the query path.
+#
+# Format v4 ("JDX4") keeps this layout byte-for-byte and only widens
+# the scheme-byte vocabulary: ids 0-3 (0 = rle, 1 = delta, 2 = varint,
+# 3 = for), each column's id chosen by the measured-size adaptive
+# selector (`repro.index.compression.choose_codec`).  Readers dispatch
+# on the recorded id -- no payload sniffing.
 
 _MAGIC_COLUMNAR_V3 = b"JDX3"
+_MAGIC_COLUMNAR_V4 = b"JDX4"
 _V3_FILE_HEADER = struct.Struct("<4sB3xQ")      # magic, algo id, n_terms
 _V3_FRAME = struct.Struct("<IQI")               # term_len, payload_len, crc
 _V3_PAYLOAD_HEADER = struct.Struct("<QIIQQ")    # n_seqs, max_len,
@@ -558,16 +566,43 @@ def _align8(pos: int) -> int:
     return (pos + 7) & ~7
 
 
+def _encode_column_v3(values) -> Tuple[int, bytes]:
+    """v3 column coder: the rle/delta heuristic, ids 0/1."""
+    scheme, payload = compress_column(values)
+    return (0 if scheme == "rle" else 1), payload
+
+
+def _encode_column_v4(values) -> Tuple[int, bytes]:
+    """v4 column coder: the measured-size adaptive selector, ids 0-3."""
+    scheme, payload = choose_codec(values)
+    return SCHEME_IDS[scheme], payload
+
+
 def serialize_columnar_postings_v3(postings: ColumnarPostings,
                                    score_mode: int = SCORES_EXACT) -> bytes:
     """One term's offset-indexed, 8-aligned payload (format v3)."""
+    return _serialize_columnar_postings(postings, score_mode,
+                                        _encode_column_v3)
+
+
+def serialize_columnar_postings_v4(postings: ColumnarPostings,
+                                   score_mode: int = SCORES_EXACT) -> bytes:
+    """One term's payload with v4 adaptive codec selection; layout is
+    byte-identical to v3, only the scheme-id vocabulary widens."""
+    return _serialize_columnar_postings(postings, score_mode,
+                                        _encode_column_v4)
+
+
+def _serialize_columnar_postings(postings: ColumnarPostings,
+                                 score_mode: int,
+                                 encode_column) -> bytes:
     n_seqs = len(postings)
     max_len = int(postings.max_len)
     columns: List[bytes] = []
     schemes = bytearray(max_len)
     for level in range(1, max_len + 1):
-        scheme, payload = compress_column(postings.column(level).values)
-        schemes[level - 1] = 0 if scheme == "rle" else 1
+        scheme_id, payload = encode_column(postings.column(level).values)
+        schemes[level - 1] = scheme_id
         columns.append(payload)
 
     # Two passes: lay out offsets, then fill the preallocated buffer.
@@ -618,17 +653,34 @@ def serialize_columnar_index_v3(index: ColumnarIndex,
                                 score_mode: int = SCORES_EXACT,
                                 algorithm: str = None) -> bytes:
     """Format-v3 columnar container: aligned frames, checksummed."""
+    return _serialize_columnar_index(index, score_mode, algorithm,
+                                     _MAGIC_COLUMNAR_V3,
+                                     serialize_columnar_postings_v3)
+
+
+def serialize_columnar_index_v4(index: ColumnarIndex,
+                                score_mode: int = SCORES_EXACT,
+                                algorithm: str = None) -> bytes:
+    """Format-v4 columnar container: v3 framing under the ``JDX4``
+    magic, per-column codecs chosen by measured encoded size."""
+    return _serialize_columnar_index(index, score_mode, algorithm,
+                                     _MAGIC_COLUMNAR_V4,
+                                     serialize_columnar_postings_v4)
+
+
+def _serialize_columnar_index(index: ColumnarIndex, score_mode: int,
+                              algorithm, magic: bytes,
+                              serialize_postings) -> bytes:
     algorithm = algorithm if algorithm is not None else DEFAULT_ALGORITHM
     if algorithm not in ALGORITHM_IDS:
         raise ValueError(f"unknown checksum algorithm {algorithm!r}; "
                          f"one of {sorted(ALGORITHM_IDS)}")
     terms = index.vocabulary
-    out = bytearray(_V3_FILE_HEADER.pack(_MAGIC_COLUMNAR_V3,
+    out = bytearray(_V3_FILE_HEADER.pack(magic,
                                          ALGORITHM_IDS[algorithm],
                                          len(terms)))
     for term in terms:
-        payload = serialize_columnar_postings_v3(
-            index.term_postings(term), score_mode)
+        payload = serialize_postings(index.term_postings(term), score_mode)
         term_bytes = term.encode("utf-8")
         out.extend(b"\x00" * (_align8(len(out)) - len(out)))
         out.extend(_V3_FRAME.pack(len(term_bytes), len(payload),
@@ -647,10 +699,21 @@ def scan_v3_container(data, file: str = None
     here copies a payload.  Returns ``(algorithm_name, refs)`` with
     each ref's offset 8-aligned into `data`.
     """
-    if bytes(data[:4]) != _MAGIC_COLUMNAR_V3:
+    return _scan_container(data, _MAGIC_COLUMNAR_V3, file)
+
+
+def scan_v4_container(data, file: str = None
+                      ) -> Tuple[str, List[BlockRef]]:
+    """Walk a v4 container's framing (identical to v3 framing)."""
+    return _scan_container(data, _MAGIC_COLUMNAR_V4, file)
+
+
+def _scan_container(data, magic: bytes, file: str = None
+                    ) -> Tuple[str, List[BlockRef]]:
+    if bytes(data[:4]) != magic:
         raise DatabaseFormatError(
             f"bad magic {bytes(data[:4])!r} "
-            f"(expected {_MAGIC_COLUMNAR_V3!r})"
+            f"(expected {magic!r})"
             + (f" in {file}" if file else ""))
     if len(data) < _V3_FILE_HEADER.size:
         raise DatabaseCorruptError(
@@ -680,8 +743,20 @@ def scan_v3_container(data, file: str = None
             pos += payload_len
     except (_PARSE_ERRORS + (struct.error,)) as exc:
         raise DatabaseCorruptError(
-            f"v3 container framing corrupt: {exc}", file=file) from exc
+            f"v{magic[3:4].decode()} container framing corrupt: {exc}",
+            file=file) from exc
     return algorithm, refs
+
+
+def _scheme_name_v3(scheme_id: int) -> str:
+    return "rle" if scheme_id == 0 else "delta"
+
+
+def _scheme_name_v4(scheme_id: int) -> str:
+    name = SCHEME_NAMES.get(int(scheme_id))
+    if name is None:
+        raise ValueError(f"unknown v4 scheme id {scheme_id}")
+    return name
 
 
 def parse_v3_payload(term: str, payload, file: str = None):
@@ -694,6 +769,16 @@ def parse_v3_payload(term: str, payload, file: str = None):
     `level_payloads` a list of ``(scheme, uint8 view)`` pairs -- the
     shape `LazyColumnarPostings` consumes.
     """
+    return _parse_payload(term, payload, _scheme_name_v3, file)
+
+
+def parse_v4_payload(term: str, payload, file: str = None):
+    """Decode a v4 per-term payload: v3 parsing with the widened
+    scheme-id vocabulary (unknown ids raise `DatabaseCorruptError`)."""
+    return _parse_payload(term, payload, _scheme_name_v4, file)
+
+
+def _parse_payload(term: str, payload, scheme_name, file: str = None):
     try:
         (n_seqs, max_len, score_mode, lengths_off,
          scores_off) = _V3_PAYLOAD_HEADER.unpack_from(payload, 0)
@@ -726,8 +811,7 @@ def parse_v3_payload(term: str, payload, file: str = None):
                 raise IndexError("column runs off the payload")
             column = np.frombuffer(payload, dtype=np.uint8, count=length,
                                    offset=off)
-            scheme = "rle" if schemes[level] == 0 else "delta"
-            level_payloads.append((scheme, column))
+            level_payloads.append((scheme_name(schemes[level]), column))
     except (_PARSE_ERRORS + (struct.error,)) as exc:
         raise DatabaseCorruptError(
             f"postings for term {term!r} do not parse: {exc}",
@@ -745,12 +829,30 @@ def deserialize_columnar_index_v3(data, verify: bool = True,
     copy -- zero-copy loading is the lazy reader's job
     (`repro.index.lazydisk.LazyColumnarIndex`).
     """
-    algorithm, refs = scan_v3_container(data, file=file)
+    return _deserialize_columnar_index(data, scan_v3_container,
+                                       parse_v3_payload, verify, file,
+                                       vectorized)
+
+
+def deserialize_columnar_index_v4(data, verify: bool = True,
+                                  file: str = None,
+                                  vectorized: bool = True
+                                  ) -> Dict[str, ColumnarPostings]:
+    """Eagerly load a format-v4 container (the ``lazy=False`` path)."""
+    return _deserialize_columnar_index(data, scan_v4_container,
+                                       parse_v4_payload, verify, file,
+                                       vectorized)
+
+
+def _deserialize_columnar_index(data, scan_container, parse_payload,
+                                verify: bool, file, vectorized: bool
+                                ) -> Dict[str, ColumnarPostings]:
+    algorithm, refs = scan_container(data, file=file)
     result: Dict[str, ColumnarPostings] = {}
     for ref in refs:
         payload = (verify_block(data, ref, algorithm, file=file) if verify
                    else data[ref.offset: ref.offset + ref.length])
-        lengths, scores, level_payloads = parse_v3_payload(
+        lengths, scores, level_payloads = parse_payload(
             ref.term, payload, file=file)
         try:
             seqs: List[List[int]] = [[] for _ in range(len(lengths))]

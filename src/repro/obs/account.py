@@ -59,6 +59,7 @@ class ResourceAccount:
     __slots__ = ("bytes_mapped", "bytes_copied", "bytes_decompressed",
                  "postings_bytes_read", "columns_decompressed",
                  "cache_bytes_saved", "cache_bytes_paid",
+                 "decode_cache_hits", "decode_cache_misses",
                  "by_codec", "level_postings", "level_bytes")
 
     def __init__(self):
@@ -69,6 +70,8 @@ class ResourceAccount:
         self.columns_decompressed = 0
         self.cache_bytes_saved = 0
         self.cache_bytes_paid = 0
+        self.decode_cache_hits = 0
+        self.decode_cache_misses = 0
         self.by_codec: Dict[str, int] = {}
         self.level_postings: Dict[int, int] = {}
         self.level_bytes: Dict[int, int] = {}
@@ -107,6 +110,20 @@ class ResourceAccount:
         else:
             self.cache_bytes_paid += nbytes
 
+    def record_decode_cache(self, hit: bool, nbytes: int) -> None:
+        """Decoded-column-cache attribution: a hit saves re-decoding a
+        column whose decoded arrays span `nbytes`, a miss pays that to
+        populate the cache.  Bytes fold into the same
+        ``cache_bytes_saved`` / ``cache_bytes_paid`` totals as the
+        postings cache; the hit/miss split survives separately in the
+        ``decode_cache`` breakdown."""
+        if hit:
+            self.cache_bytes_saved += nbytes
+            self.decode_cache_hits += 1
+        else:
+            self.cache_bytes_paid += nbytes
+            self.decode_cache_misses += 1
+
     # -- read-out ------------------------------------------------------
 
     def as_dict(self) -> Dict[str, Any]:
@@ -119,6 +136,8 @@ class ResourceAccount:
             "columns_decompressed": self.columns_decompressed,
             "cache_bytes_saved": self.cache_bytes_saved,
             "cache_bytes_paid": self.cache_bytes_paid,
+            "decode_cache": {"hits": self.decode_cache_hits,
+                             "misses": self.decode_cache_misses},
             "by_codec": dict(self.by_codec),
             "by_level_postings": {str(k): v for k, v
                                   in sorted(self.level_postings.items())},

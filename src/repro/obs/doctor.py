@@ -58,13 +58,17 @@ def _scan_columnar(path: str):
     framing to scan, so they are reported as unsupported.
     """
     from ..index.storage import (_MAGIC_COLUMNAR_BLOCKED,
-                                 _MAGIC_COLUMNAR_V3,
-                                 scan_blocked_container, scan_v3_container)
+                                 _MAGIC_COLUMNAR_V3, _MAGIC_COLUMNAR_V4,
+                                 scan_blocked_container, scan_v3_container,
+                                 scan_v4_container)
     from ..reliability.io import map_bytes
 
     mapped = map_bytes(path)
     data = mapped.view if hasattr(mapped, "view") else mapped
     magic = bytes(data[:4])
+    if magic == _MAGIC_COLUMNAR_V4:
+        algorithm, refs = scan_v4_container(data, file=path)
+        return "v4", algorithm, data, refs, mapped
     if magic == _MAGIC_COLUMNAR_V3:
         algorithm, refs = scan_v3_container(data, file=path)
         return "v3", algorithm, data, refs, mapped
@@ -74,24 +78,29 @@ def _scan_columnar(path: str):
         return "v2", algorithm, bytes(data), refs, mapped
     raise ValueError(
         f"{path!r} has magic {magic!r}; repro doctor reads format-v2 "
-        "blocked (JDXB) and format-v3 (JDX3) containers")
+        "blocked (JDXB), format-v3 (JDX3) and format-v4 (JDX4) "
+        "containers")
 
 
-def _codec_level_stats(data, refs) -> Dict[str, Any]:
-    """Per-level / per-codec compressed-vs-raw totals (v3 only).
+def _codec_level_stats(data, refs, fmt: str = "v3") -> Dict[str, Any]:
+    """Per-level / per-codec compressed-vs-raw totals (v3/v4 only).
 
     Raw size uses the eager 4-byte value model
     (`repro.index.compression.uncompressed_size`), the same yardstick
     the build-time `measure_sizes` report uses, so the two agree.
+    For v4 the per-level entries also carry a ``codecs`` histogram --
+    the selector's choices (how many columns at that level landed on
+    each codec), the quickest answer to "is FOR pulling its weight?".
     """
     from ..index.compression import decompress_column
-    from ..index.storage import parse_v3_payload
+    from ..index.storage import parse_v3_payload, parse_v4_payload
 
-    by_level: Dict[int, Dict[str, int]] = {}
+    parse_payload = parse_v4_payload if fmt == "v4" else parse_v3_payload
+    by_level: Dict[int, Dict[str, Any]] = {}
     by_codec: Dict[str, Dict[str, int]] = {}
     for ref in refs:
         payload = data[ref.offset: ref.offset + ref.length]
-        _lengths, _scores, level_payloads = parse_v3_payload(
+        _lengths, _scores, level_payloads = parse_payload(
             ref.term, payload)
         for idx, (scheme, column) in enumerate(level_payloads):
             level = idx + 1
@@ -99,10 +108,11 @@ def _codec_level_stats(data, refs) -> Dict[str, Any]:
             values = decompress_column(scheme, column)
             raw = int(len(values)) * 4
             lv = by_level.setdefault(level, {"compressed": 0, "raw": 0,
-                                             "postings": 0})
+                                             "postings": 0, "codecs": {}})
             lv["compressed"] += compressed
             lv["raw"] += raw
             lv["postings"] += int(len(values))
+            lv["codecs"][scheme] = lv["codecs"].get(scheme, 0) + 1
             cd = by_codec.setdefault(scheme, {"compressed": 0, "raw": 0,
                                               "columns": 0})
             cd["compressed"] += compressed
@@ -186,18 +196,23 @@ def doctor_report(path: str, workload: Optional[str] = None,
         all_refs.extend(refs)
         for ref in refs:
             term_sizes[ref.term] = term_sizes.get(ref.term, 0) + ref.length
-        if codecs and fmt == "v3":
-            merged = _codec_level_stats(data, refs)
+        if codecs and fmt in ("v3", "v4"):
+            merged = _codec_level_stats(data, refs, fmt=fmt)
             prior = report.get("compression")
             if prior is None:
                 report["compression"] = merged
             else:
                 for section in ("by_level", "by_codec"):
                     for key, entry2 in merged[section].items():
-                        into = prior[section].setdefault(
-                            key, {k: 0 for k in entry2 if k != "ratio"})
+                        into = prior[section].setdefault(key, {})
                         for name, value in entry2.items():
-                            if name != "ratio":
+                            if name == "ratio":
+                                continue
+                            if isinstance(value, dict):
+                                sub = into.setdefault(name, {})
+                                for codec, count in value.items():
+                                    sub[codec] = sub.get(codec, 0) + count
+                            else:
                                 into[name] = into.get(name, 0) + value
                         into["ratio"] = (into["compressed"] / into["raw"]
                                          if into.get("raw") else 0.0)
@@ -306,10 +321,15 @@ def format_doctor_report(report: Dict[str, Any]) -> str:
     compression = report.get("compression")
     if compression:
         for level, entry in compression["by_level"].items():
-            lines.append(
-                f"  level {level}: {entry['postings']} postings, "
-                f"{entry['compressed']}/{entry['raw']}B "
-                f"(ratio {entry['ratio']:.2f})")
+            line = (f"  level {level}: {entry['postings']} postings, "
+                    f"{entry['compressed']}/{entry['raw']}B "
+                    f"(ratio {entry['ratio']:.2f})")
+            hist = entry.get("codecs")
+            if hist:
+                mix = ", ".join(f"{codec} x{count}" for codec, count
+                                in sorted(hist.items()))
+                line += f" [{mix}]"
+            lines.append(line)
         for codec, entry in compression["by_codec"].items():
             lines.append(
                 f"  codec {codec}: {entry['columns']} columns, "

@@ -284,3 +284,114 @@ class TestClearAndInvalidate:
         pairs = small_db.search_batch(["xml data"], with_stats=True)
         stats = pairs[0][1]
         assert stats.cache_misses == 1 and stats.levels_processed > 0
+
+
+class TestDecodedColumnCache:
+    """The byte-budget LRU of decoded columns (format-v4 serving)."""
+
+    @staticmethod
+    def _column(level=1, n=16):
+        import numpy as np
+
+        from repro.index.columnar import Column
+
+        values = np.arange(n, dtype=np.int64)
+        return Column(level, values, values.copy())
+
+    def test_get_put_roundtrip(self):
+        from repro.cache import DecodedColumnCache
+
+        cache = DecodedColumnCache(capacity_bytes=1 << 20)
+        key = ("ns", "xml", 1)
+        assert cache.get(key) is None
+        column = self._column()
+        cache.put(key, column)
+        assert cache.get(key) is column
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.current_bytes == (column.values.nbytes
+                                       + column.seq_idx.nbytes)
+
+    def test_budget_evicts_least_recently_used(self):
+        from repro.cache import DecodedColumnCache
+
+        column = self._column()
+        cost = column.values.nbytes + column.seq_idx.nbytes
+        cache = DecodedColumnCache(capacity_bytes=2 * cost)
+        cache.put("a", self._column())
+        cache.put("b", self._column())
+        cache.get("a")                       # b becomes the LRU entry
+        cache.put("c", self._column())
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+        assert cache.get("c") is not None
+        assert cache.stats.evictions == 1
+        assert cache.current_bytes <= cache.capacity_bytes
+
+    def test_oversized_entry_never_admitted(self):
+        from repro.cache import DecodedColumnCache
+
+        cache = DecodedColumnCache(capacity_bytes=64)
+        cache.put("big", self._column(n=1024))
+        assert len(cache) == 0 and cache.current_bytes == 0
+
+    def test_zero_capacity_disables(self):
+        from repro.cache import DecodedColumnCache
+
+        cache = DecodedColumnCache(capacity_bytes=0)
+        cache.put("k", self._column())
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_reput_same_key_replaces_cost(self):
+        from repro.cache import DecodedColumnCache
+
+        cache = DecodedColumnCache(capacity_bytes=1 << 20)
+        cache.put("k", self._column(n=16))
+        small = self._column(n=4)
+        cache.put("k", small)
+        assert cache.current_bytes == (small.values.nbytes
+                                       + small.seq_idx.nbytes)
+        assert len(cache) == 1
+
+    def test_clear_resets(self):
+        from repro.cache import DecodedColumnCache
+
+        cache = DecodedColumnCache(capacity_bytes=1 << 20)
+        cache.put("k", self._column())
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0 and cache.current_bytes == 0
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_as_dict_snapshot(self):
+        from repro.cache import DecodedColumnCache
+
+        cache = DecodedColumnCache(capacity_bytes=1 << 20)
+        cache.put("k", self._column())
+        cache.get("k")
+        cache.get("absent")
+        snap = cache.as_dict()
+        assert snap["entries"] == 1
+        assert snap["capacity_bytes"] == 1 << 20
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["bytes"] == cache.current_bytes
+
+    def test_bind_metrics_publishes_counters(self):
+        from repro.cache import DecodedColumnCache
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = DecodedColumnCache(capacity_bytes=1 << 20,
+                                   metrics=registry)
+        cache.put("k", self._column())
+        cache.get("k")
+        cache.get("absent")
+        snap = registry.snapshot()
+        counters = snap["counters"]
+        hits = counters[
+            'repro_cache_requests_total{cache="decoded",outcome="hit"}']
+        misses = counters[
+            'repro_cache_requests_total{cache="decoded",outcome="miss"}']
+        assert hits == 1 and misses == 1
+        ratio = snap["gauges"]['repro_cache_hit_ratio{cache="decoded"}']
+        assert ratio == 0.5

@@ -5,11 +5,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.algorithms.erasure import (BitmapEraser, IntervalEraser,
+from repro.algorithms.erasure import (_ARRAY_MAX, _CHUNK, BitmapEraser,
+                                      IntervalEraser, RoaringEraser,
                                       make_eraser)
 
 
-@pytest.fixture(params=["bitmap", "interval"])
+@pytest.fixture(params=["bitmap", "interval", "roaring"])
 def eraser(request):
     return make_eraser(request.param, 100)
 
@@ -95,10 +96,74 @@ class TestIntervalSpecific:
         assert eraser.erased_count(95, 205) == 15
 
 
+class TestRoaringSpecific:
+    def test_overlapping_marks_union(self):
+        # Unlike the interval eraser, roaring accepts arbitrary overlap.
+        eraser = RoaringEraser(100)
+        eraser.mark(10, 30)
+        eraser.mark(20, 50)
+        assert eraser.total_erased == 40
+        assert eraser.runs == [(10, 50)]
+
+    def test_single_points_use_array_container(self):
+        eraser = RoaringEraser(1000)
+        for i in (3, 99, 7):
+            eraser.mark(i, i + 1)
+        assert eraser.container_kinds == {"array": 1, "run": 0,
+                                          "bitset": 0}
+        assert eraser.runs == [(3, 4), (7, 8), (99, 100)]
+
+    def test_range_marks_use_run_container(self):
+        eraser = RoaringEraser(1000)
+        eraser.mark(10, 40)
+        eraser.mark(100, 200)
+        assert eraser.container_kinds["run"] == 1
+
+    def test_array_promotes_to_bitset(self):
+        eraser = RoaringEraser(2 * _CHUNK)
+        for i in range(0, 2 * (_ARRAY_MAX + 1), 2):
+            eraser.mark(i, i + 1)
+        assert eraser.container_kinds["bitset"] == 1
+        assert eraser.total_erased == _ARRAY_MAX + 1
+        assert eraser.is_erased(2 * _ARRAY_MAX)
+        assert not eraser.is_erased(2 * _ARRAY_MAX + 1)
+
+    def test_mark_spanning_chunks(self):
+        eraser = RoaringEraser(3 * _CHUNK)
+        lo, hi = _CHUNK - 10, 2 * _CHUNK + 10
+        eraser.mark(lo, hi)
+        assert eraser.total_erased == hi - lo
+        assert len(eraser.container_kinds) == 3
+        assert eraser.erased_count(0, 3 * _CHUNK) == hi - lo
+        assert eraser.is_erased(_CHUNK)
+        assert eraser.is_erased(2 * _CHUNK + 9)
+        assert not eraser.is_erased(2 * _CHUNK + 10)
+
+    def test_mark_many_spanning_chunks_matches_scalar(self):
+        rng = np.random.default_rng(17)
+        size = 4 * _CHUNK
+        lows = rng.integers(0, size - 500, size=200)
+        highs = lows + rng.integers(0, 500, size=200)
+        bulk = RoaringEraser(size)
+        bulk.mark_many(lows, highs)
+        slow = RoaringEraser(size)
+        for lo, hi in zip(lows.tolist(), highs.tolist()):
+            slow.mark(lo, hi)
+        assert bulk.total_erased == slow.total_erased
+        assert bulk.runs == slow.runs
+
+
 class TestFactory:
     def test_modes(self):
         assert isinstance(make_eraser("bitmap", 10), BitmapEraser)
         assert isinstance(make_eraser("interval", 10), IntervalEraser)
+        assert isinstance(make_eraser("roaring", 10), RoaringEraser)
+
+    def test_auto_picks_by_size(self):
+        # One chunk or less: the dense bitmap is cheapest; above that
+        # the chunked containers win.
+        assert isinstance(make_eraser("auto", _CHUNK), BitmapEraser)
+        assert isinstance(make_eraser("auto", _CHUNK + 1), RoaringEraser)
 
     def test_unknown_mode(self):
         with pytest.raises(ValueError):
@@ -139,7 +204,7 @@ def bulk_queries(draw, size):
 class TestBulkAPIs:
     """Property-based equivalence: bulk vs scalar on random sequences."""
 
-    @pytest.mark.parametrize("mode", ["bitmap", "interval"])
+    @pytest.mark.parametrize("mode", ["bitmap", "interval", "roaring"])
     @given(case=nested_marks(), data=st.data())
     def test_erased_counts_matches_scalar(self, mode, case, data):
         size, marks = case
@@ -152,7 +217,7 @@ class TestBulkAPIs:
                   for lo, hi in zip(lows, highs)]
         assert list(bulk) == scalar
 
-    @pytest.mark.parametrize("mode", ["bitmap", "interval"])
+    @pytest.mark.parametrize("mode", ["bitmap", "interval", "roaring"])
     @given(case=nested_marks())
     def test_mark_many_matches_mark_sequence(self, mode, case):
         size, marks = case
@@ -173,12 +238,15 @@ class TestBulkAPIs:
         size, marks = case
         bitmap = BitmapEraser(size)
         interval = IntervalEraser(size)
+        roaring = RoaringEraser(size)
         for lo, hi in marks:
             bitmap.mark(lo, hi)
             interval.mark(lo, hi)
+            roaring.mark(lo, hi)
             lows, highs = data.draw(bulk_queries(size))
             assert list(bitmap.erased_counts(lows, highs)) == \
                 list(interval.erased_counts(lows, highs)) == \
+                list(roaring.erased_counts(lows, highs)) == \
                 [bitmap.erased_count(int(a), int(b))
                  for a, b in zip(lows, highs)]
 
@@ -189,7 +257,7 @@ class TestBulkAPIs:
         assert eraser.total_erased == 20
         assert eraser.erased_count(0, 50) == 20
 
-    @pytest.mark.parametrize("mode", ["bitmap", "interval"])
+    @pytest.mark.parametrize("mode", ["bitmap", "interval", "roaring"])
     def test_bulk_validation(self, mode):
         eraser = make_eraser(mode, 10)
         with pytest.raises(ValueError):
@@ -201,7 +269,7 @@ class TestBulkAPIs:
         with pytest.raises(ValueError):
             eraser.mark_many(np.asarray([0, 1]), np.asarray([5]))
 
-    @pytest.mark.parametrize("mode", ["bitmap", "interval"])
+    @pytest.mark.parametrize("mode", ["bitmap", "interval", "roaring"])
     def test_bulk_empty_inputs(self, mode):
         eraser = make_eraser(mode, 10)
         eraser.mark_many(np.empty(0, dtype=np.int64),
@@ -211,7 +279,7 @@ class TestBulkAPIs:
                                       np.empty(0, dtype=np.int64))
         assert len(counts) == 0
 
-    @pytest.mark.parametrize("mode", ["bitmap", "interval"])
+    @pytest.mark.parametrize("mode", ["bitmap", "interval", "roaring"])
     @given(case=nested_marks(), data=st.data())
     def test_free_mask_matches_is_erased(self, mode, case, data):
         size, marks = case
@@ -243,3 +311,20 @@ class TestEquivalence:
                     interval.erased_count(lo, hi)
         for i in range(size):
             assert bitmap.is_erased(i) == interval.is_erased(i)
+
+    @given(nested_marks())
+    def test_roaring_agrees_with_bitmap(self, case):
+        size, marks = case
+        bitmap = BitmapEraser(size)
+        roaring = RoaringEraser(size)
+        for lo, hi in marks:
+            bitmap.mark(lo, hi)
+            roaring.mark(lo, hi)
+        assert bitmap.total_erased == roaring.total_erased
+        ordinals = np.arange(size, dtype=np.int64)
+        assert list(bitmap.free_mask(ordinals)) == \
+            list(roaring.free_mask(ordinals))
+        lows = np.arange(0, size, 7, dtype=np.int64)
+        highs = np.minimum(lows + 11, size)
+        assert list(bitmap.erased_counts(lows, highs)) == \
+            list(roaring.erased_counts(lows, highs))

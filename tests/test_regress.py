@@ -170,6 +170,28 @@ class TestCheck:
         assert delta.delta == 0.0
         assert "x:" in delta.format()
 
+    def test_microsecond_jitter_below_floor_passes(self):
+        # +40% relative on a 20us op is 8us of absolute movement --
+        # allocator/timer jitter, not a regression.
+        history = [_entry(p50=0.020), _entry(p50=0.020),
+                   _entry(p50=0.028)]
+        verdict = check(history)
+        assert verdict.checked
+        assert verdict.ok
+        assert "floor" in verdict.format()
+
+    def test_floor_can_be_disabled(self):
+        history = [_entry(p50=0.020), _entry(p50=0.020),
+                   _entry(p50=0.028)]
+        verdict = check(history, min_delta_ms=0.0)
+        assert not verdict.ok  # +40% > 15% with no absolute floor
+
+    def test_floor_does_not_shield_real_microsecond_growth(self):
+        # A micro op that grows past the floor still fails.
+        history = [_entry(p50=0.020), _entry(p50=0.020),
+                   _entry(p50=0.080)]
+        assert not check(history).ok
+
 
 # ---------------------------------------------------------------------------
 # CLI exit codes (the CI contract)
